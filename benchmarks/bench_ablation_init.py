@@ -1,0 +1,20 @@
+"""Ablation — truth initialization (Section 2.5, "Initialization").
+
+The paper initializes with Voting/Averaging and reports it is "typically
+a good start"; accuracy should be robust to the choice (same fixpoint),
+with voting-style starts converging in no more iterations.
+"""
+
+from repro.experiments import run_ablation_init
+
+from conftest import run_experiment
+
+
+def test_ablation_initialization(benchmark):
+    result = run_experiment(benchmark, run_ablation_init, seeds=(1, 2, 3))
+    vote = result.row("vote_median")
+    rand = result.row("random")
+    assert abs(rand[1] - vote[1]) < 0.05
+    assert abs(rand[2] - vote[2]) < 0.02
+    # Voting-style initialization never needs *more* iterations.
+    assert vote[3] <= rand[3] + 1

@@ -1,0 +1,24 @@
+"""Ablation — weight combination vs source selection (Section 2.3).
+
+Compares the exponential (combination) scheme with Lp-norm single-source
+selection (Eq. 6) and choose-j selection (Eq. 7): combination wins when
+sources carry complementary information; selection approaches it as j
+grows.
+"""
+
+from repro.experiments import run_ablation_selection
+
+from conftest import run_experiment
+
+
+def test_ablation_source_selection(benchmark):
+    result = run_experiment(benchmark, run_ablation_selection,
+                            seeds=(1, 2, 3))
+    combine = result.row("exponential (combine all)")
+    single = result.row("Lp-norm (best source)")
+    top3 = result.row("top-3 selection")
+    # Combining sources beats following the single best one.
+    assert combine[2] < single[2]
+    assert combine[1] <= single[1] + 0.02
+    # Selecting more sources closes the gap toward combination.
+    assert top3[2] <= single[2] + 1e-9

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the hot paths (timed over multiple rounds).
+
+These are conventional pytest-benchmark timings: the weighted
+aggregations behind the truth step, the claim-graph build behind the
+fact-based baselines, and a full CRH fit — the numbers that back the
+paper's O(KNM)-per-iteration complexity claim (Section 2.5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.claims import build_claim_graph
+from repro.core import CRHSolver, crh
+from repro.core.weighted_stats import (
+    weighted_median_columns,
+    weighted_vote_columns,
+)
+from repro.datasets import (
+    ADULT_ROUNDING,
+    PAPER_GAMMAS,
+    generate_adult_truth,
+    simulate_sources,
+)
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    rng = np.random.default_rng(0)
+    values = rng.normal(0, 10, (20, 50_000))
+    values[rng.random(values.shape) < 0.2] = np.nan
+    codes = rng.integers(0, 8, (20, 50_000)).astype(np.int32)
+    codes[rng.random(codes.shape) < 0.2] = -1
+    weights = rng.uniform(0.1, 3.0, 20)
+    return values, codes, weights
+
+
+@pytest.fixture(scope="module")
+def adult_dataset():
+    truth = generate_adult_truth(3_000, seed=1)
+    return simulate_sources(truth, PAPER_GAMMAS,
+                            np.random.default_rng(1),
+                            rounding=ADULT_ROUNDING)
+
+
+def test_weighted_median_columns_throughput(benchmark, matrices):
+    values, _, weights = matrices
+    result = benchmark(weighted_median_columns, values, weights)
+    assert result.shape == (50_000,)
+
+
+def test_weighted_vote_columns_throughput(benchmark, matrices):
+    _, codes, weights = matrices
+    result = benchmark(weighted_vote_columns, codes, weights, 8)
+    assert result.shape == (50_000,)
+
+
+def test_claim_graph_build_throughput(benchmark, adult_dataset):
+    graph = benchmark(build_claim_graph, adult_dataset)
+    assert graph.n_claims == adult_dataset.n_observations()
+
+
+def test_crh_fit_throughput(benchmark, adult_dataset):
+    result = benchmark(CRHSolver().fit, adult_dataset)
+    assert result.converged
+
+
+def test_crh_linear_in_observations(benchmark):
+    """Section 2.5: running time is linear in K*N*M.  Compare per-
+    observation cost at 1x vs 4x data; it should stay flat-ish."""
+    import time
+
+    def fit_seconds(n_objects: int) -> float:
+        truth = generate_adult_truth(n_objects, seed=2)
+        dataset = simulate_sources(truth, PAPER_GAMMAS,
+                                   np.random.default_rng(2),
+                                   rounding=ADULT_ROUNDING)
+        started = time.perf_counter()
+        crh(dataset, max_iterations=5, tol=0.0)
+        return time.perf_counter() - started
+
+    def measure():
+        small = min(fit_seconds(2_000) for _ in range(2))
+        large = min(fit_seconds(8_000) for _ in range(2))
+        return small, large
+
+    small, large = benchmark.pedantic(measure, rounds=1, iterations=1)
+    per_obs_small = small / (2_000 * 14 * 8)
+    per_obs_large = large / (8_000 * 14 * 8)
+    print(f"\nper-observation cost: {per_obs_small * 1e9:.1f} ns (1x) vs "
+          f"{per_obs_large * 1e9:.1f} ns (4x)")
+    assert per_obs_large < per_obs_small * 2.0

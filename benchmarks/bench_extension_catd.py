@@ -1,0 +1,92 @@
+"""Extension — CATD [23] vs CRH under long-tail source coverage.
+
+CATD is the CRH authors' follow-up (cited in the paper's introduction):
+chi-squared confidence bounds shrink the weights of sparsely observed
+sources.  The stock workload's per-source coverage already spans
+15-55%; this benchmark additionally injects a handful of near-empty
+"lucky" sources whose few claims are perfect — the long-tail trap —
+and checks that CATD resists them by construction while remaining
+competitive with CRH on accuracy.
+"""
+
+import numpy as np
+
+from repro.baselines import resolver_by_name
+from repro.data import DatasetBuilder
+from repro.datasets import StockConfig, generate_stock_dataset
+from repro.experiments import render_table
+from repro.metrics import error_rate, mnad
+
+
+def _with_lucky_sources(generated, n_lucky=3, claims_each=6, seed=0):
+    """Append near-empty sources whose few claims copy the truth."""
+    from repro.data.records import dataset_to_records
+    rng = np.random.default_rng(seed)
+    builder = DatasetBuilder(generated.dataset.schema,
+                             codecs=generated.dataset.codecs())
+    for record in dataset_to_records(generated.dataset):
+        builder.add(record.entry.object_id, record.source_id,
+                    record.entry.property_name, record.value)
+    labels = generated.truth.to_labels()
+    labeled_objects = [
+        i for i in range(generated.truth.n_objects)
+        if labels[generated.dataset.schema[0].name][i] is not None
+    ]
+    for lucky in range(n_lucky):
+        picks = rng.choice(labeled_objects, size=claims_each,
+                           replace=False)
+        for i in picks:
+            object_id = generated.truth.object_ids[i]
+            for prop in generated.dataset.schema:
+                value = labels[prop.name][i]
+                if value is not None:
+                    builder.add(object_id, f"lucky-{lucky}", prop.name,
+                                value)
+    return builder.build()
+
+
+def _run():
+    rows = []
+    for seed in (1, 2):
+        generated = generate_stock_dataset(
+            StockConfig(n_symbols=60, n_days=8, seed=seed)
+        )
+        dataset = _with_lucky_sources(generated, seed=seed)
+        # The rebuilt dataset's object order follows record first
+        # occurrence; realign the ground truth to it for evaluation.
+        position = {o: i for i, o in
+                    enumerate(generated.truth.object_ids)}
+        truth = generated.truth.select_objects(
+            np.array([position[o] for o in dataset.object_ids])
+        )
+        for method in ("CRH", "CATD"):
+            result = resolver_by_name(method).fit(dataset)
+            weights = dict(zip(result.source_ids, result.weights))
+            top = max(weights, key=weights.get)
+            lucky_is_top = str(top).startswith("lucky-")
+            rows.append([
+                f"{method} (seed {seed})",
+                error_rate(result.truths, truth),
+                mnad(result.truths, truth),
+                "yes" if lucky_is_top else "no",
+            ])
+    return rows
+
+
+def test_extension_catd_long_tail(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["method", "Error Rate", "MNAD", "lucky source ranked #1?"],
+        rows,
+        title="Extension: CATD vs CRH with injected long-tail "
+              "lucky sources (stock workload)",
+    ))
+    catd_rows = [r for r in rows if r[0].startswith("CATD")]
+    crh_rows = [r for r in rows if r[0].startswith("CRH")]
+    # CATD never crowns a 6-claim source; CRH's point estimates do.
+    assert all(r[3] == "no" for r in catd_rows)
+    assert any(r[3] == "yes" for r in crh_rows)
+    # CATD stays accuracy-competitive while fixing the ranking.
+    for catd, base in zip(catd_rows, crh_rows):
+        assert catd[1] <= base[1] + 0.05

@@ -1,0 +1,44 @@
+"""Figs. 2-3 — accuracy vs number of reliable sources (Adult and Bank).
+
+Paper observations reproduced here: (1) CRH beats the baselines in the
+mixed-reliability regime; (2) even a single reliable source out of 8
+lets CRH discover (almost) all categorical truths; (3) everyone's
+accuracy improves with more reliable sources; (4) continuous error
+converges more slowly than categorical error.
+"""
+
+import pytest
+
+from repro.experiments import run_reliable_sources_sweep
+
+from conftest import run_experiment
+
+
+@pytest.mark.parametrize("dataset_name", ["Adult", "Bank"])
+def test_fig23_reliable_sources_sweep(benchmark, dataset_name):
+    sweep = run_experiment(
+        benchmark, run_reliable_sources_sweep,
+        dataset_name=dataset_name, n_objects=800,
+        methods=("CRH", "Voting", "Mean", "Median", "GTM",
+                 "PooledInvestment", "AccuSim"),
+        seed=5,
+    )
+
+    crh_err = sweep.error_rates["CRH"]
+    vote_err = sweep.error_rates["Voting"]
+    # (2) one reliable source suffices for CRH, not for voting.
+    assert max(crh_err[1:]) < 0.02
+    assert vote_err[1] > crh_err[1] + 0.05
+    # (3) voting improves monotonically-ish with reliable sources.
+    assert vote_err[8] < vote_err[1]
+    # (4) CRH's MNAD at one reliable source is worse relative to its own
+    # floor than its error rate is — continuous convergence is slower.
+    crh_mnad = sweep.mnads["CRH"]
+    floor = min(m for m in crh_mnad if m is not None)
+    assert crh_mnad[1] > floor
+    # (1) in the mixed regime CRH beats every other method on error rate.
+    mid = 3
+    for method, series in sweep.error_rates.items():
+        if method == "CRH" or series[mid] is None:
+            continue
+        assert crh_err[mid] <= series[mid] + 1e-9, method

@@ -1,0 +1,36 @@
+"""Fig. 4 — I-CRH source-weight trajectories on the weather stream.
+
+Paper shape: (a) all source weights reach a stable stage after a few
+timestamps; (b) although I-CRH's first-timestamp weights differ from
+CRH's, the stabilized weights converge to CRH's estimates.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig4
+
+from conftest import run_experiment
+
+
+def test_fig4_weight_trajectories(benchmark):
+    result = run_experiment(benchmark, run_fig4, seed=1)
+
+    history = result.weight_history
+    assert history.shape == (32, 9)
+
+    # (a) stability: the best source's identity is fixed over the last
+    # ten timestamps.
+    late = history[-10:]
+    assert len({int(row.argmax()) for row in late}) == 1
+
+    # (b) convergence toward CRH: the stable-timestamp weights are at
+    # least as close to CRH as the first-timestamp weights are.
+    gap_first = np.abs(
+        result.comparison["I-CRH t=1"] - result.comparison["CRH"]
+    ).mean()
+    stable_key = f"I-CRH t={result.stable_timestamp}"
+    gap_stable = np.abs(
+        result.comparison[stable_key] - result.comparison["CRH"]
+    ).mean()
+    assert gap_stable <= gap_first + 0.05
+    assert gap_stable < 0.30

@@ -1,0 +1,24 @@
+"""Fig. 6 — I-CRH accuracy vs decay rate alpha.
+
+Paper shape: "the performance of I-CRH is not sensitive to different
+values of alpha" — both measures stay within a narrow band across the
+full [0, 1] sweep.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig6
+
+from conftest import run_experiment
+
+
+def test_fig6_decay_rate(benchmark):
+    sweep = run_experiment(
+        benchmark, run_fig6,
+        decays=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+        seed=1,
+    )
+    errors = np.asarray(sweep.error_rates)
+    mnads = np.asarray(sweep.mnads)
+    assert errors.max() - errors.min() < 0.06
+    assert mnads.max() - mnads.min() < 0.02

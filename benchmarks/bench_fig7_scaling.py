@@ -1,0 +1,25 @@
+"""Fig. 7 — parallel-CRH running time vs #entries and vs #sources.
+
+Paper shape: with sources fixed, time grows linearly in the number of
+entries; with entries fixed, time grows linearly in the number of
+sources.
+"""
+
+from repro.experiments import run_fig7
+
+from conftest import run_experiment
+
+
+def test_fig7_linear_scaling(benchmark):
+    result = run_experiment(
+        benchmark, run_fig7,
+        entry_counts=(20_000, 50_000, 100_000, 200_000),
+        source_counts=(4, 8, 16, 24, 32),
+        iterations=5, seed=3,
+    )
+    assert result.pearson_entries > 0.97
+    assert result.pearson_sources > 0.97
+    entry_times = [p.simulated_seconds for p in result.by_entries]
+    source_times = [p.simulated_seconds for p in result.by_sources]
+    assert entry_times == sorted(entry_times)
+    assert source_times == sorted(source_times)

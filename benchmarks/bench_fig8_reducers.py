@@ -1,0 +1,29 @@
+"""Fig. 8 — parallel-CRH running time vs number of reducers.
+
+Paper shape: more reducers is not always faster — with the paper's
+4e8-observation workload the optimum sits at 10 reducers, and 25
+reducers take *longer* than 10 because coordination overhead outgrows
+the per-reducer work reduction.  The cost model reproduces the same
+trade-off at the scaled workload.
+"""
+
+from repro.experiments import run_fig8
+
+from conftest import run_experiment
+
+
+def test_fig8_reducer_sweep(benchmark):
+    result = run_experiment(
+        benchmark, run_fig8,
+        reducer_counts=(2, 5, 10, 15, 20, 25),
+        n_observations=4_000_000, iterations=5, seed=3,
+    )
+    times = {p.n_reducers: p.simulated_seconds for p in result.points}
+
+    best = result.best_reducer_count()
+    # The optimum is strictly interior (paper: 10).
+    assert best not in (2, 25)
+    assert times[2] > times[best]
+    assert times[25] > times[best]
+    # The paper's headline sentence: 25 reducers are slower than 10.
+    assert times[25] > times[10]

@@ -1,0 +1,30 @@
+"""Table 6 — parallel-CRH running time on the simulated cluster.
+
+Paper values (Hadoop, 1e4..4e8 observations): 94 s, 96 s, 100 s, 193 s,
+669 s, 1384 s, Pearson correlation 0.9811.  The sweep here covers
+1e4..4e6 (the vector engine handles larger sizes; pass bigger counts to
+``run_table6`` to extend).  Asserted shape: a setup-dominated floor at
+small sizes and near-perfect linear correlation overall.
+"""
+
+from repro.experiments import run_table6
+
+from conftest import run_experiment
+
+
+def test_table6_observation_scaling(benchmark):
+    result = run_experiment(
+        benchmark, run_table6,
+        observation_counts=(10_000, 100_000, 1_000_000, 4_000_000),
+        iterations=5, seed=3,
+    )
+    times = [p.simulated_seconds for p in result.points]
+
+    # Setup-dominated floor: 10x more data costs < 1.3x at the low end
+    # (paper: 94 s -> 96 s).
+    assert times[1] / times[0] < 1.3
+    # Monotone growth and strong linearity (paper Pearson: 0.9811).
+    assert times == sorted(times)
+    assert result.pearson > 0.98
+    # The largest run is clearly compute-bound, not setup-bound.
+    assert times[-1] > 1.1 * times[0]

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the rendered rows/series (run pytest with ``-s`` to see them inline), and
+asserts the paper's qualitative shape — who wins, roughly by how much —
+so a passing benchmark run *is* the reproduction check.  Timings are
+single-shot (``rounds=1``): the workloads are deterministic and the
+interesting output is the table, not the harness's own latency.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, runner, **kwargs):
+    """Run an experiment once under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    return result

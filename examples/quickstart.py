@@ -1,0 +1,58 @@
+"""Quickstart: resolve conflicts among a handful of sources by hand.
+
+Three websites report a city's weather. Two are careful; one keeps
+publishing stale numbers. CRH figures out who to trust — without ever
+seeing ground truth — and derives the truths from the trustworthy
+majority-of-weight rather than the majority-of-heads.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import crh
+from repro.data import DatasetBuilder, DatasetSchema, categorical, continuous
+
+# 1. Declare the schema: one continuous and one categorical property.
+schema = DatasetSchema.of(
+    continuous("high_temp", unit="F"),
+    categorical("condition", ["sunny", "cloudy", "rain"]),
+)
+
+# 2. Feed conflicting observations from three sources over five days.
+#    `careful-1` and `careful-2` are close to reality; `sloppy` drifts.
+observations = {
+    # day:   (truth_temp, truth_cond)  -- shown in comments only
+    "mon": [("careful-1", 71, "sunny"), ("careful-2", 72, "sunny"),
+            ("sloppy", 58, "rain")],      # truth: 71, sunny
+    "tue": [("careful-1", 74, "cloudy"), ("careful-2", 73, "cloudy"),
+            ("sloppy", 74, "cloudy")],    # truth: 74, cloudy
+    "wed": [("careful-1", 66, "rain"), ("careful-2", 67, "rain"),
+            ("sloppy", 80, "sunny")],     # truth: 66, rain
+    "thu": [("careful-1", 69, "cloudy"), ("careful-2", 69, "rain"),
+            ("sloppy", 51, "rain")],      # truth: 69, cloudy-ish
+    "fri": [("careful-1", 75, "sunny"), ("careful-2", 76, "sunny"),
+            ("sloppy", 75, "sunny")],     # truth: 75, sunny
+}
+
+builder = DatasetBuilder(schema)
+for day, claims in observations.items():
+    for source, temp, condition in claims:
+        builder.add_row(day, source, {"high_temp": temp,
+                                      "condition": condition})
+dataset = builder.build()
+
+# 3. Run CRH: jointly estimates truths and source reliability weights.
+result = crh(dataset)
+
+print("Estimated source reliability (higher = more trusted):")
+for source, weight in result.weights_by_source().items():
+    print(f"  {source:10s} {weight:6.3f}")
+
+print("\nResolved truths:")
+for day in observations:
+    temp = result.truths.value(day, "high_temp")
+    condition = result.truths.value(day, "condition")
+    print(f"  {day}: high {temp:.0f} F, {condition}")
+
+print(f"\nConverged after {result.iterations} iterations "
+      f"(objective history: "
+      f"{[round(v, 4) for v in result.objective_history]})")

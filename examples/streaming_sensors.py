@@ -1,0 +1,49 @@
+"""Streaming truth discovery with incremental CRH (Section 2.6).
+
+Forecast data arrives day by day; waiting for the full month before
+estimating source reliability is not an option. I-CRH processes each
+day's chunk once: it resolves the chunk with the weights learned so far,
+then folds the chunk's deviations into the decayed per-source accumulators.
+This example shows the weights stabilizing within a few days and the
+accuracy staying close to full-batch CRH at a fraction of the work.
+
+Run:  python examples/streaming_sensors.py
+"""
+
+import time
+
+from repro import crh
+from repro.datasets import generate_weather_dataset
+from repro.metrics import error_rate, mnad
+from repro.streaming import ICRHConfig, IncrementalCRH, chunk_by_window
+
+generated = generate_weather_dataset(seed=3)
+dataset, truth = generated.dataset, generated.truth
+
+model = IncrementalCRH(ICRHConfig(decay=0.5))
+print("day  weights (one per source)")
+for chunk in chunk_by_window(dataset, window=1):
+    model.partial_fit(chunk.dataset)
+    if chunk.index < 8 or chunk.index % 8 == 0:
+        weights = " ".join(f"{w:5.2f}" for w in model.weights)
+        print(f"{chunk.index:>3}  {weights}")
+
+# Full-stream comparison against batch CRH.
+from repro.streaming import icrh  # noqa: E402  (import next to its use)
+
+started = time.perf_counter()
+stream_result = icrh(dataset, window=1, config=ICRHConfig(decay=0.5))
+stream_seconds = time.perf_counter() - started
+started = time.perf_counter()
+batch_result = crh(dataset)
+batch_seconds = time.perf_counter() - started
+
+print("\nmethod  error_rate  mnad    seconds")
+for label, result, seconds in (
+    ("I-CRH", stream_result.result, stream_seconds),
+    ("CRH", batch_result, batch_seconds),
+):
+    print(f"{label:6s}  {error_rate(result.truths, truth):.4f}      "
+          f"{mnad(result.truths, truth):.4f}  {seconds:.3f}")
+print("\nI-CRH sees each observation exactly once; CRH iterates over "
+      "the whole month until convergence.")

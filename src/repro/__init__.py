@@ -1,0 +1,29 @@
+"""repro — a reproduction of the CRH truth-discovery framework.
+
+CRH ("Conflict Resolution on Heterogeneous data") resolves conflicts among
+multiple sources of mixed categorical/continuous data by jointly estimating
+entry truths and source reliability weights (Li et al., SIGMOD 2014;
+journal version TKDE 2016).
+
+Quickstart::
+
+    from repro import crh
+    from repro.datasets import generate_weather_dataset
+
+    dataset, truth = generate_weather_dataset(seed=7)
+    result = crh(dataset)
+    print(result.weights)          # estimated source reliability
+    print(result.truths.value(dataset.object_ids[0], "high_temp"))
+"""
+
+from .core import CRHConfig, CRHSolver, TruthDiscoveryResult, crh
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CRHConfig",
+    "CRHSolver",
+    "TruthDiscoveryResult",
+    "crh",
+    "__version__",
+]

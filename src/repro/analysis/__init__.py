@@ -1,0 +1,31 @@
+"""Post-hoc analyses on top of truth discovery.
+
+* :mod:`repro.analysis.dependency` — source-dependency (copying)
+  detection, the paper's explicitly deferred future work ("we do not
+  consider source dependency in this paper but leave it for future
+  work");
+* :mod:`repro.analysis.confidence` — per-entry confidence scores derived
+  from the weighted claim distribution.
+"""
+
+from .confidence import (
+    EntryConfidence,
+    entry_confidence,
+    least_confident_entries,
+)
+from .dependency import (
+    DependencyReport,
+    SourcePair,
+    detect_copying,
+    pairwise_agreement,
+)
+
+__all__ = [
+    "DependencyReport",
+    "EntryConfidence",
+    "SourcePair",
+    "detect_copying",
+    "entry_confidence",
+    "least_confident_entries",
+    "pairwise_agreement",
+]

@@ -1,0 +1,247 @@
+"""Source-dependency (copying) detection.
+
+The paper leaves source dependency to future work and cites Dong et
+al. [10], whose key insight drives this module: *independent* sources
+agree mostly on true values (they all observe the same world), while
+*copiers* also agree on their upstream's mistakes.  Agreement on values
+that the truth-discovery output says are wrong is therefore evidence of
+copying, far beyond what independent errors explain.
+
+For every source pair we compute:
+
+* ``agreement`` — fraction of co-claimed entries with identical claims;
+* ``wrong_agreement`` — fraction of co-claimed entries where both make
+  the *same claim that disagrees with the resolved truth*;
+* ``dependence_score`` — a *robust z-score* of the pair's conditional
+  same-wrong rate (among entries where both sources contradict the
+  resolved truth, how often they make the *identical* wrong claim)
+  against the empirical background of that rate over all pairs (median
+  and MAD).  Conditioning on both-wrong cancels the sources' individual
+  error rates, and comparing to the all-pairs background cancels
+  correlated-error channels that affect everyone (e.g. a stale upstream
+  value many independent sources fall back to); direct copiers stand far
+  above it because they share essentially *all* of their upstream's
+  mistakes.  Continuous values are compared by exact equality —
+  bit-identical wrong floats are the copier fingerprint; independent
+  noisy observers essentially never produce them.
+
+Pairs scoring above ``z_threshold`` are flagged.  On the stock workload
+(whose generator wires sources to shared upstream feeds) the flagged
+pairs recover the feed clusters — see ``tests/test_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from ..data.encoding import MISSING_CODE
+from ..data.table import MultiSourceDataset, TruthTable
+
+
+@dataclass(frozen=True)
+class SourcePair:
+    """Dependency evidence for one source pair."""
+
+    source_a: Hashable
+    source_b: Hashable
+    co_claimed: int
+    agreement: float
+    wrong_agreement: float
+    dependence_score: float
+
+    @property
+    def flagged(self) -> bool:
+        return self.dependence_score >= 3.0
+
+
+@dataclass
+class DependencyReport:
+    """All-pairs dependency analysis plus the induced copying clusters."""
+
+    pairs: list[SourcePair]
+    clusters: list[frozenset]
+    z_threshold: float
+
+    def flagged_pairs(self) -> list[SourcePair]:
+        """Pairs whose dependence score exceeds the threshold."""
+        return [p for p in self.pairs
+                if p.dependence_score >= self.z_threshold]
+
+    def cluster_of(self, source: Hashable) -> frozenset | None:
+        """Copying cluster containing ``source``, or ``None``."""
+        for cluster in self.clusters:
+            if source in cluster:
+                return cluster
+        return None
+
+
+def _claim_matrices(dataset: MultiSourceDataset) -> list[np.ndarray]:
+    """Per-property claim matrices with a uniform missing marker.
+
+    Continuous values are compared by exact equality (bit-identical
+    claims are the copier fingerprint), encoded through ``np.unique``.
+    """
+    matrices = []
+    for prop in dataset.properties:
+        if prop.schema.uses_codec:
+            matrices.append(prop.values.astype(np.int64))
+        else:
+            values = prop.values
+            observed = ~np.isnan(values)
+            flat = np.where(observed, values, np.inf)
+            _, codes = np.unique(flat, return_inverse=True)
+            codes = codes.reshape(values.shape).astype(np.int64)
+            codes[~observed] = MISSING_CODE
+            matrices.append(codes)
+    return matrices
+
+
+def pairwise_agreement(dataset: MultiSourceDataset) -> np.ndarray:
+    """``(K, K)`` matrix: fraction of co-claimed entries with equal claims."""
+    k = dataset.n_sources
+    same = np.zeros((k, k))
+    both = np.zeros((k, k))
+    for codes in _claim_matrices(dataset):
+        observed = codes != MISSING_CODE
+        for a in range(k):
+            co_observed = observed[a][None, :] & observed
+            both[a] += co_observed.sum(axis=1)
+            same[a] += ((codes[a][None, :] == codes) & co_observed).sum(
+                axis=1
+            )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        agreement = same / both
+    return np.where(both > 0, agreement, 0.0)
+
+
+def detect_copying(
+    dataset: MultiSourceDataset,
+    truths: TruthTable,
+    z_threshold: float = 3.0,
+    min_co_claimed: int = 20,
+    min_both_wrong: int = 10,
+) -> DependencyReport:
+    """Flag source pairs whose shared mistakes exceed independence.
+
+    ``truths`` is a resolved truth table (e.g. CRH output) — ground truth
+    is *not* required; the analysis runs fully unsupervised on top of
+    truth discovery, matching how [10] bootstraps copy detection.
+    """
+    k = dataset.n_sources
+    matrices = _claim_matrices(dataset)
+    truth_columns = []
+    for m, prop in enumerate(dataset.schema):
+        if prop.uses_codec:
+            truth_columns.append(truths.columns[m].astype(np.int64))
+        else:
+            # Re-encode the continuous truth through the same value space.
+            values = dataset.properties[m].values
+            observed = ~np.isnan(values)
+            flat = np.where(observed, values, np.inf)
+            uniques = np.unique(flat)
+            t = truths.columns[m].astype(np.float64)
+            idx = np.searchsorted(uniques, t)
+            idx = np.clip(idx, 0, uniques.size - 1)
+            matched = np.isfinite(t) & (uniques[idx] == t)
+            codes = np.where(matched, idx, MISSING_CODE).astype(np.int64)
+            truth_columns.append(codes)
+
+    # Pairwise counters, kept separate per property family because the
+    # conditional's baseline differs wildly between exact-match families
+    # (codec values: agreeing-when-wrong happens by chance ~1/(L-1);
+    # continuous values: independent sources essentially never produce
+    # bit-identical wrong floats).
+    families = [0 if prop.schema.uses_codec else 1
+                for prop in dataset.properties]
+    n_families = 2
+    same_wrong = np.zeros((n_families, k, k))
+    both_wrong = np.zeros((n_families, k, k))
+    co_claimed = np.zeros((k, k))
+    same_any = np.zeros((k, k))
+    for codes, truth_col, family in zip(matrices, truth_columns, families):
+        observed = codes != MISSING_CODE
+        has_truth = truth_col != MISSING_CODE
+        evaluable = observed & has_truth[None, :]
+        wrong = evaluable & (codes != truth_col[None, :])
+        for a in range(k):
+            co = evaluable[a][None, :] & evaluable
+            co_claimed[a] += co.sum(axis=1)
+            agree = (codes[a][None, :] == codes) & co
+            same_any[a] += agree.sum(axis=1)
+            pair_wrong = wrong[a][None, :] & wrong
+            both_wrong[family, a] += pair_wrong.sum(axis=1)
+            same_wrong[family, a] += (agree & pair_wrong).sum(axis=1)
+
+    # Per family: conditional same-given-both-wrong per pair, robust
+    # z-score against that family's all-pairs background, combined by max.
+    eligible = [(a, b) for a in range(k) for b in range(a + 1, k)
+                if co_claimed[a, b] >= min_co_claimed]
+    scores = {pair: 0.0 for pair in eligible}
+    for family in range(n_families):
+        conditionals: dict[tuple[int, int], float] = {}
+        for a, b in eligible:
+            n_both = both_wrong[family, a, b]
+            if n_both >= min_both_wrong:
+                conditionals[(a, b)] = float(
+                    same_wrong[family, a, b] / n_both
+                )
+        if not conditionals:
+            continue
+        rates = np.array(list(conditionals.values()))
+        center = float(np.median(rates))
+        mad = float(np.median(np.abs(rates - center)))
+        background_spread = 1.4826 * mad
+        for pair, conditional in conditionals.items():
+            # Denominator combines the background spread with the pair's
+            # own binomial sampling noise, so pairs with few both-wrong
+            # entries need a much larger excess to flag.
+            n_both = float(both_wrong[family, pair[0], pair[1]])
+            sampling = np.sqrt(max(center * (1.0 - center), 0.05) / n_both)
+            spread = float(
+                np.sqrt(background_spread ** 2 + sampling ** 2)
+            ) + 1e-9
+            scores[pair] = max(scores[pair],
+                               float((conditional - center) / spread))
+
+    pairs: list[SourcePair] = []
+    for a, b in eligible:
+        n_co = co_claimed[a, b]
+        pairs.append(SourcePair(
+            source_a=dataset.source_ids[a],
+            source_b=dataset.source_ids[b],
+            co_claimed=int(n_co),
+            agreement=float(same_any[a, b] / n_co),
+            wrong_agreement=float(same_wrong[:, a, b].sum() / n_co),
+            dependence_score=scores[(a, b)],
+        ))
+
+    clusters = _connected_components(
+        dataset.source_ids,
+        [(p.source_a, p.source_b) for p in pairs
+         if p.dependence_score >= z_threshold],
+    )
+    return DependencyReport(pairs=pairs, clusters=clusters,
+                            z_threshold=z_threshold)
+
+
+def _connected_components(sources, edges) -> list[frozenset]:
+    """Union-find over flagged pairs; singleton components are dropped."""
+    parent = {s: s for s in sources}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in edges:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_a] = root_b
+    components: dict = {}
+    for s in sources:
+        components.setdefault(find(s), set()).add(s)
+    return [frozenset(c) for c in components.values() if len(c) > 1]

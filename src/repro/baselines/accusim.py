@@ -1,0 +1,100 @@
+"""AccuSim — Dong, Berti-Equille & Srivastava, VLDB 2009 [10].
+
+The ACCU family's Bayesian analysis: a source with accuracy ``A_k`` casts
+a vote of strength ``ln(n * A_k / (1 - A_k))`` for each value it claims
+(``n`` is the assumed number of wrong values in each entry's domain), and
+a value's posterior probability is the softmax of its accumulated vote
+count over the entry's candidate values — claiming one value implicitly
+votes against the entry's others (the *complement vote* shared with
+2-Estimates).  AccuSim extends ACCU by letting similar values reinforce
+each other before the softmax, using the same similarity function as
+TruthFinder for continuous claims.
+
+Source-dependency detection (AccuCopy etc. from the same paper) is out of
+scope, exactly as Section 3.1.2 states ("we do not consider source
+dependency in this paper").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import TruthDiscoveryResult
+from ..data.table import MultiSourceDataset
+from .base import ConflictResolver, register_resolver
+from .claims import ClaimGraph, build_claim_graph, winners_to_truth_table
+
+_ACC_FLOOR = 1e-3
+_ACC_CEIL = 1.0 - 1e-3
+
+
+def _entry_softmax(graph: ClaimGraph, scores: np.ndarray) -> np.ndarray:
+    """Softmax of fact scores within every entry, numerically stable."""
+    entry_max = np.full(graph.n_entries, -np.inf)
+    np.maximum.at(entry_max, graph.fact_entry, scores)
+    shifted = np.exp(scores - entry_max[graph.fact_entry])
+    denominator = graph.sum_facts_by_entry(shifted)
+    return shifted / denominator[graph.fact_entry]
+
+
+@register_resolver
+class AccuSimResolver(ConflictResolver):
+    """AccuSim with the original paper's parameter suggestions."""
+
+    name = "AccuSim"
+
+    def __init__(
+        self,
+        n_false_values: int = 10,
+        rho: float = 0.5,
+        initial_accuracy: float = 0.8,
+        max_iterations: int = 20,
+        tol: float = 1e-4,
+    ) -> None:
+        if n_false_values < 1:
+            raise ValueError("n_false_values must be >= 1")
+        if not 0 <= rho <= 1:
+            raise ValueError("rho must be in [0, 1]")
+        if not 0 < initial_accuracy < 1:
+            raise ValueError("initial_accuracy must be in (0, 1)")
+        self.n_false_values = n_false_values
+        self.rho = rho
+        self.initial_accuracy = initial_accuracy
+        self.max_iterations = max_iterations
+        self.tol = tol
+
+    def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
+        graph = build_claim_graph(dataset)
+        claims_per_source = np.maximum(graph.claims_per_source(), 1)
+        accuracy = np.full(graph.n_sources, self.initial_accuracy)
+        probability = np.zeros(graph.n_facts)
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            clipped = np.clip(accuracy, _ACC_FLOOR, _ACC_CEIL)
+            tau = np.log(self.n_false_values * clipped / (1.0 - clipped))
+            vote_count = graph.sum_claims_by_fact(tau[graph.claim_source])
+            # Similar continuous values reinforce each other's vote count.
+            adjusted = vote_count + self.rho * graph.entry_similarity_sums(
+                vote_count
+            )
+            probability = _entry_softmax(graph, adjusted)
+            new_accuracy = (
+                graph.sum_claims_by_source(probability[graph.claim_fact])
+                / claims_per_source
+            )
+            delta = float(np.abs(new_accuracy - accuracy).max())
+            accuracy = new_accuracy
+            if delta < self.tol:
+                converged = True
+                break
+        winners = graph.argmax_fact_per_entry(probability)
+        truths = winners_to_truth_table(graph, dataset, winners)
+        return TruthDiscoveryResult(
+            truths=truths,
+            weights=accuracy,
+            source_ids=dataset.source_ids,
+            method=self.name,
+            iterations=iterations,
+            converged=converged,
+        )

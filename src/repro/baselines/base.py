@@ -1,0 +1,78 @@
+"""Common interface and registry for conflict-resolution methods.
+
+Every baseline (and CRH itself, through an adapter) implements
+:class:`ConflictResolver`, so the experiment harness can run the whole
+Table 2 / Table 4 method column uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from ..data.schema import PropertyKind
+from ..data.table import MultiSourceDataset
+from ..core.result import TruthDiscoveryResult
+
+
+class ConflictResolver(abc.ABC):
+    """A conflict-resolution method mapping a dataset to truths + weights."""
+
+    #: registry key and display name, e.g. ``"TruthFinder"``
+    name: str
+    #: the property kinds this method can resolve; single-type methods
+    #: (Mean, Median, GTM, Voting) ignore the other kind, as in the paper.
+    handles: frozenset[PropertyKind] = frozenset(
+        (PropertyKind.CATEGORICAL, PropertyKind.CONTINUOUS,
+         PropertyKind.TEXT)
+    )
+    #: True when the method's reliability scores measure *unreliability*
+    #: (GTM's variances, 3-Estimates' error factors) and must be inverted
+    #: before the Fig. 1 comparison.
+    scores_are_unreliability: bool = False
+
+    @abc.abstractmethod
+    def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
+        """Resolve conflicts in ``dataset``."""
+
+    def fit_timed(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
+        """Like :meth:`fit` but stamps wall-clock time on the result."""
+        started = time.perf_counter()
+        result = self.fit(dataset)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def handles_kind(self, kind: PropertyKind) -> bool:
+        """Whether this method resolves properties of ``kind``."""
+        return kind in self.handles
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+_RESOLVERS: dict[str, type[ConflictResolver]] = {}
+
+
+def register_resolver(cls: type[ConflictResolver]) -> type[ConflictResolver]:
+    """Class decorator adding a resolver to the registry."""
+    if not getattr(cls, "name", None):
+        raise ValueError("resolver class must define a non-empty `name`")
+    if cls.name in _RESOLVERS:
+        raise ValueError(f"resolver {cls.name!r} is already registered")
+    _RESOLVERS[cls.name] = cls
+    return cls
+
+
+def resolver_by_name(name: str, **kwargs) -> ConflictResolver:
+    """Instantiate a registered resolver by display name."""
+    try:
+        return _RESOLVERS[name](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown resolver {name!r}; registered: {available_resolvers()}"
+        ) from None
+
+
+def available_resolvers() -> tuple[str, ...]:
+    """Registered resolver names, sorted."""
+    return tuple(sorted(_RESOLVERS))

@@ -1,0 +1,22 @@
+"""Adapter exposing the CRH solver through the resolver interface,
+so the experiment harness treats it like any other method column."""
+
+from __future__ import annotations
+
+from ..core.result import TruthDiscoveryResult
+from ..core.solver import CRHConfig, CRHSolver
+from ..data.table import MultiSourceDataset
+from .base import ConflictResolver, register_resolver
+
+
+@register_resolver
+class CRHResolver(ConflictResolver):
+    """CRH with the paper's default configuration (Section 3.1.2)."""
+
+    name = "CRH"
+
+    def __init__(self, config: CRHConfig | None = None) -> None:
+        self.config = config or CRHConfig()
+
+    def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
+        return CRHSolver(self.config).fit(dataset)

@@ -1,0 +1,103 @@
+"""Voting/Averaging baselines without source-reliability estimation.
+
+These are the traditional conflict-resolution methods of Section 3.1.2:
+Mean and Median on continuous properties, majority Voting on categorical
+properties.  They weight every source equally (uniform weights are what
+their results report), which is exactly the assumption the paper's
+reliability-aware methods relax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import TruthDiscoveryResult
+from ..core.weighted_stats import (
+    weighted_mean_columns,
+    weighted_median_columns,
+    weighted_vote_columns,
+)
+from ..data.encoding import MISSING_CODE
+from ..data.schema import PropertyKind
+from ..data.table import MultiSourceDataset, TruthTable
+from .base import ConflictResolver, register_resolver
+
+
+def _empty_columns(dataset: MultiSourceDataset) -> list[np.ndarray]:
+    columns: list[np.ndarray] = []
+    for prop in dataset.schema:
+        if prop.uses_codec:
+            columns.append(
+                np.full(dataset.n_objects, MISSING_CODE, dtype=np.int32)
+            )
+        else:
+            columns.append(np.full(dataset.n_objects, np.nan))
+    return columns
+
+
+def _result(dataset: MultiSourceDataset, columns: list[np.ndarray],
+            method: str) -> TruthDiscoveryResult:
+    truths = TruthTable(
+        schema=dataset.schema,
+        object_ids=dataset.object_ids,
+        columns=columns,
+        codecs=dataset.codecs(),
+    )
+    return TruthDiscoveryResult(
+        truths=truths,
+        weights=np.ones(dataset.n_sources),
+        source_ids=dataset.source_ids,
+        method=method,
+        iterations=0,
+        converged=True,
+    )
+
+
+@register_resolver
+class MeanResolver(ConflictResolver):
+    """Per-entry mean of the observations (continuous properties only)."""
+
+    name = "Mean"
+    handles = frozenset((PropertyKind.CONTINUOUS,))
+
+    def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
+        columns = _empty_columns(dataset)
+        uniform = np.ones(dataset.n_sources)
+        for m, prop in enumerate(dataset.properties):
+            if prop.schema.is_continuous:
+                columns[m] = weighted_mean_columns(prop.values, uniform)
+        return _result(dataset, columns, self.name)
+
+
+@register_resolver
+class MedianResolver(ConflictResolver):
+    """Per-entry median of the observations (continuous properties only)."""
+
+    name = "Median"
+    handles = frozenset((PropertyKind.CONTINUOUS,))
+
+    def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
+        columns = _empty_columns(dataset)
+        uniform = np.ones(dataset.n_sources)
+        for m, prop in enumerate(dataset.properties):
+            if prop.schema.is_continuous:
+                columns[m] = weighted_median_columns(prop.values, uniform)
+        return _result(dataset, columns, self.name)
+
+
+@register_resolver
+class VotingResolver(ConflictResolver):
+    """Per-entry majority vote (categorical properties only)."""
+
+    name = "Voting"
+    handles = frozenset((PropertyKind.CATEGORICAL, PropertyKind.TEXT))
+
+    def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
+        columns = _empty_columns(dataset)
+        uniform = np.ones(dataset.n_sources)
+        for m, prop in enumerate(dataset.properties):
+            if prop.schema.uses_codec:
+                columns[m] = weighted_vote_columns(
+                    prop.values, uniform, n_categories=len(prop.codec)
+                )
+        return _result(dataset, columns, self.name)

@@ -1,0 +1,89 @@
+"""TruthFinder — Yin, Han & Yu, KDD 2007 [4].
+
+Bayesian-flavored iterative trust propagation: a source's trustworthiness
+``t_k`` is the expected confidence of the facts it claims; a fact's
+confidence is derived from the trust of its claimants, combined in log
+space ("tau scores") so independent supporters compound.  Influence
+*between* facts of the same entry enters through an implication function:
+for continuous values, nearby claims boost each other
+(``imp = exp(-|v - v'| / scale)``); distinct categorical values do not
+imply each other.  A dampening factor ``gamma`` compensates for
+non-independent sources, and the logistic link keeps confidences in
+(0, 1).
+
+Parameter defaults follow the original paper: ``gamma = 0.3``,
+``rho = 0.5``, initial trust 0.9, convergence on the change in the trust
+vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import TruthDiscoveryResult
+from ..data.table import MultiSourceDataset
+from .base import ConflictResolver, register_resolver
+from .claims import build_claim_graph, winners_to_truth_table
+
+_MAX_TRUST = 1.0 - 1e-6
+
+
+@register_resolver
+class TruthFinderResolver(ConflictResolver):
+    """TruthFinder with the original paper's parameter suggestions."""
+
+    name = "TruthFinder"
+
+    def __init__(
+        self,
+        gamma: float = 0.3,
+        rho: float = 0.5,
+        initial_trust: float = 0.9,
+        max_iterations: int = 20,
+        tol: float = 1e-4,
+    ) -> None:
+        if not 0 < gamma:
+            raise ValueError("gamma must be positive")
+        if not 0 <= rho <= 1:
+            raise ValueError("rho must be in [0, 1]")
+        if not 0 < initial_trust < 1:
+            raise ValueError("initial_trust must be in (0, 1)")
+        self.gamma = gamma
+        self.rho = rho
+        self.initial_trust = initial_trust
+        self.max_iterations = max_iterations
+        self.tol = tol
+
+    def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
+        graph = build_claim_graph(dataset)
+        claims_per_source = np.maximum(graph.claims_per_source(), 1)
+        trust = np.full(graph.n_sources, self.initial_trust)
+        confidence = np.zeros(graph.n_facts)
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            # tau: trust in log space; compounding over claimants.
+            tau = -np.log1p(-np.minimum(trust, _MAX_TRUST))
+            sigma = graph.sum_claims_by_fact(tau[graph.claim_source])
+            # Implication from same-entry facts (continuous only).
+            sigma_star = sigma + self.rho * graph.entry_similarity_sums(sigma)
+            confidence = 1.0 / (1.0 + np.exp(-self.gamma * sigma_star))
+            new_trust = (
+                graph.sum_claims_by_source(confidence[graph.claim_fact])
+                / claims_per_source
+            )
+            delta = float(np.abs(new_trust - trust).max())
+            trust = new_trust
+            if delta < self.tol:
+                converged = True
+                break
+        winners = graph.argmax_fact_per_entry(confidence)
+        truths = winners_to_truth_table(graph, dataset, winners)
+        return TruthDiscoveryResult(
+            truths=truths,
+            weights=trust,
+            source_ids=dataset.source_ids,
+            method=self.name,
+            iterations=iterations,
+            converged=converged,
+        )

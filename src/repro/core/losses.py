@@ -1,0 +1,300 @@
+"""Loss functions plugging heterogeneous data types into CRH (Section 2.4).
+
+Each loss owns both sides of the block-coordinate iteration for the
+properties of its kind:
+
+* ``deviations`` — the ``d_m(v*_im, v^(k)_im)`` matrix entering the weight
+  step (Eq. 2/5);
+* ``update_truth`` — the entry-wise minimizer of Eq. 3 for the truth step.
+
+Implemented losses, with their paper equations:
+
+=====================  ===========  ==============================  =================
+loss                   data type    deviation                       truth update
+=====================  ===========  ==============================  =================
+``zero_one``           categorical  Eq. 8 (0-1 indicator)           Eq. 9 (weighted vote)
+``probability``        categorical  Eq. 11 (squared L2 on one-hot)  Eq. 12 (weighted mean of one-hot)
+``squared``            continuous   Eq. 13 (squared / entry std)    Eq. 14 (weighted mean)
+``absolute``           continuous   Eq. 15 (absolute / entry std)   Eq. 16 (weighted median)
+=====================  ===========  ==============================  =================
+
+The paper's recommended configuration (Section 3.1.2) is ``zero_one`` +
+``absolute``; ``probability`` + ``squared`` is the provably convergent
+Bregman pair (Section 2.5, "Convexity and convergence").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.encoding import MISSING_CODE
+from ..data.schema import PropertyKind
+from ..data.table import PropertyObservations
+from .weighted_stats import (
+    column_std,
+    weighted_mean_columns,
+    weighted_median_columns,
+    weighted_vote_columns,
+)
+
+
+@dataclass
+class TruthState:
+    """Per-property solver state.
+
+    ``column`` always holds the hard per-entry decision — an ``int32`` code
+    vector for categorical properties, a ``float64`` vector for continuous
+    ones — because the paper's outputs and metrics are defined on hard
+    decisions.  Soft losses additionally keep a ``distribution`` (an
+    ``(L, N)`` matrix of per-entry category probabilities); ``aux`` caches
+    loss-specific precomputations (e.g. the per-entry std of Eqs. 13/15).
+    """
+
+    column: np.ndarray
+    distribution: np.ndarray | None = None
+    aux: dict = field(default_factory=dict)
+
+
+class Loss(abc.ABC):
+    """A loss function ``d_m`` for one property kind."""
+
+    #: registry key, e.g. ``"zero_one"``
+    name: str
+    #: the property kind this loss applies to
+    kind: PropertyKind
+
+    @abc.abstractmethod
+    def initial_state(self, prop: PropertyObservations,
+                      init_column: np.ndarray) -> TruthState:
+        """Wrap an initial truth column into solver state."""
+
+    @abc.abstractmethod
+    def update_truth(self, prop: PropertyObservations,
+                     weights: np.ndarray) -> TruthState:
+        """Truth step: per-entry minimizer of Eq. 3 under this loss."""
+
+    @abc.abstractmethod
+    def deviations(self, state: TruthState,
+                   prop: PropertyObservations) -> np.ndarray:
+        """``(K, N)`` matrix of ``d_m`` values; ``NaN`` where unobserved."""
+
+    def objective_contribution(self, state: TruthState,
+                               prop: PropertyObservations,
+                               weights: np.ndarray) -> float:
+        """This property's term of the objective (Eq. 1)."""
+        dev = self.deviations(state, prop)
+        return float(np.nansum(dev * weights[:, None]))
+
+
+# ----------------------------------------------------------------------
+# categorical losses
+# ----------------------------------------------------------------------
+
+class ZeroOneLoss(Loss):
+    """0-1 loss (Eq. 8) with weighted-vote truth update (Eq. 9)."""
+
+    name = "zero_one"
+    kind = PropertyKind.CATEGORICAL
+
+    def initial_state(self, prop: PropertyObservations,
+                      init_column: np.ndarray) -> TruthState:
+        return TruthState(column=np.asarray(init_column, dtype=np.int32))
+
+    def update_truth(self, prop: PropertyObservations,
+                     weights: np.ndarray) -> TruthState:
+        column = weighted_vote_columns(
+            prop.values, weights, n_categories=len(prop.codec)
+        )
+        return TruthState(column=column)
+
+    def deviations(self, state: TruthState,
+                   prop: PropertyObservations) -> np.ndarray:
+        codes = prop.values
+        observed = codes != MISSING_CODE
+        mismatch = (codes != state.column[None, :]).astype(np.float64)
+        mismatch[~observed] = np.nan
+        return mismatch
+
+
+class ProbabilityVectorLoss(Loss):
+    """Squared loss on one-hot encodings (Eqs. 10-12).
+
+    The truth state is a full per-entry probability distribution; the hard
+    decision reported in ``column`` is its arg-max ("the most possible
+    value").  Deviations use the closed form
+    ``||p - e_c||^2 = sum_l p_l^2 - 2 p_c + 1`` so no one-hot matrices are
+    materialized per source.
+    """
+
+    name = "probability"
+    kind = PropertyKind.CATEGORICAL
+
+    def initial_state(self, prop: PropertyObservations,
+                      init_column: np.ndarray) -> TruthState:
+        n_categories = len(prop.codec)
+        n = prop.n_objects
+        column = np.asarray(init_column, dtype=np.int32)
+        distribution = np.zeros((n_categories, n), dtype=np.float64)
+        labeled = column != MISSING_CODE
+        distribution[column[labeled], np.flatnonzero(labeled)] = 1.0
+        return TruthState(column=column, distribution=distribution)
+
+    def update_truth(self, prop: PropertyObservations,
+                     weights: np.ndarray) -> TruthState:
+        codes = prop.values
+        k, n = codes.shape
+        n_categories = len(prop.codec)
+        observed = codes != MISSING_CODE
+        weight_matrix = np.where(observed, weights[:, None], 0.0)
+        totals = weight_matrix.sum(axis=0)
+        zero_weight = (totals <= 0) & observed.any(axis=0)
+        if zero_weight.any():
+            weight_matrix[:, zero_weight] = np.where(
+                observed[:, zero_weight], 1.0, 0.0
+            )
+            totals = weight_matrix.sum(axis=0)
+        scores = np.zeros((n_categories, n), dtype=np.float64)
+        columns = np.broadcast_to(np.arange(n), (k, n))
+        np.add.at(
+            scores,
+            (codes[observed], columns[observed]),
+            weight_matrix[observed],
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            distribution = scores / totals[None, :]
+        unseen = totals <= 0
+        distribution[:, unseen] = 0.0
+        column = distribution.argmax(axis=0).astype(np.int32)
+        column[unseen] = MISSING_CODE
+        return TruthState(column=column, distribution=distribution)
+
+    def deviations(self, state: TruthState,
+                   prop: PropertyObservations) -> np.ndarray:
+        if state.distribution is None:
+            raise ValueError("probability loss state lacks a distribution")
+        codes = prop.values
+        observed = codes != MISSING_CODE
+        squared_norm = (state.distribution ** 2).sum(axis=0)  # (N,)
+        safe_codes = np.where(observed, codes, 0)
+        p_claimed = state.distribution[
+            safe_codes, np.arange(codes.shape[1])[None, :]
+        ]
+        dev = squared_norm[None, :] - 2.0 * p_claimed + 1.0
+        dev = np.where(observed, dev, np.nan)
+        return dev
+
+
+# ----------------------------------------------------------------------
+# continuous losses
+# ----------------------------------------------------------------------
+
+def _entry_std(state_aux: dict, prop: PropertyObservations) -> np.ndarray:
+    """Per-entry cross-source std, cached per property matrix identity."""
+    cached = state_aux.get("std")
+    if cached is None:
+        cached = column_std(prop.values)
+        state_aux["std"] = cached
+    return cached
+
+
+class NormalizedSquaredLoss(Loss):
+    """Squared loss normalized by the entry std (Eq. 13); weighted-mean
+    truth update (Eq. 14)."""
+
+    name = "squared"
+    kind = PropertyKind.CONTINUOUS
+
+    def initial_state(self, prop: PropertyObservations,
+                      init_column: np.ndarray) -> TruthState:
+        state = TruthState(column=np.asarray(init_column, dtype=np.float64))
+        _entry_std(state.aux, prop)
+        return state
+
+    def update_truth(self, prop: PropertyObservations,
+                     weights: np.ndarray) -> TruthState:
+        state = TruthState(
+            column=weighted_mean_columns(prop.values, weights)
+        )
+        _entry_std(state.aux, prop)
+        return state
+
+    def deviations(self, state: TruthState,
+                   prop: PropertyObservations) -> np.ndarray:
+        std = _entry_std(state.aux, prop)
+        dev = (prop.values - state.column[None, :]) ** 2 / std[None, :]
+        return dev
+
+
+class NormalizedAbsoluteLoss(Loss):
+    """Absolute deviation normalized by the entry std (Eq. 15);
+    weighted-median truth update (Eq. 16)."""
+
+    name = "absolute"
+    kind = PropertyKind.CONTINUOUS
+
+    def initial_state(self, prop: PropertyObservations,
+                      init_column: np.ndarray) -> TruthState:
+        state = TruthState(column=np.asarray(init_column, dtype=np.float64))
+        _entry_std(state.aux, prop)
+        return state
+
+    def update_truth(self, prop: PropertyObservations,
+                     weights: np.ndarray) -> TruthState:
+        state = TruthState(
+            column=weighted_median_columns(prop.values, weights)
+        )
+        _entry_std(state.aux, prop)
+        return state
+
+    def deviations(self, state: TruthState,
+                   prop: PropertyObservations) -> np.ndarray:
+        std = _entry_std(state.aux, prop)
+        dev = np.abs(prop.values - state.column[None, :]) / std[None, :]
+        return dev
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_LOSSES: dict[str, type[Loss]] = {
+    cls.name: cls
+    for cls in (
+        ZeroOneLoss,
+        ProbabilityVectorLoss,
+        NormalizedSquaredLoss,
+        NormalizedAbsoluteLoss,
+    )
+}
+
+
+def register_loss(cls: type[Loss]) -> type[Loss]:
+    """Register a custom loss; usable as a class decorator."""
+    if not getattr(cls, "name", None):
+        raise ValueError("loss class must define a non-empty `name`")
+    if cls.name in _LOSSES:
+        raise ValueError(f"loss {cls.name!r} is already registered")
+    _LOSSES[cls.name] = cls
+    return cls
+
+
+def loss_by_name(name: str) -> Loss:
+    """Instantiate a registered loss by name."""
+    try:
+        return _LOSSES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown loss {name!r}; registered: {sorted(_LOSSES)}"
+        ) from None
+
+
+def available_losses(kind: PropertyKind | None = None) -> tuple[str, ...]:
+    """Names of registered losses, optionally filtered by property kind."""
+    names = (
+        name for name, cls in _LOSSES.items()
+        if kind is None or cls.kind is kind
+    )
+    return tuple(sorted(names))

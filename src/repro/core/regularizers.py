@@ -1,0 +1,155 @@
+"""Source-weight assignment schemes (Section 2.3).
+
+Given the per-source aggregate deviations ``L_k = sum_i sum_m d_m(...)``
+computed under the current truths, a weight scheme solves the weight step
+(Eq. 2) for its regularization function:
+
+* :class:`ExponentialWeights` — ``delta(W) = sum_k exp(-w_k)`` (Eq. 4),
+  whose closed-form optimum is ``w_k = -log(L_k / normalizer)`` (Eq. 5).
+  The paper recommends using the **max** of the deviations as normalizer
+  (end of Section 2.3) so differences between sources are emphasized; the
+  **sum** normalizer of Eq. 5 is also provided.
+* :class:`LpNormWeights` — ``delta(W) = ||W||_p = 1, w_k >= 0`` (Eq. 6).
+  Because the weight-step objective is linear in ``W`` and concentrating
+  mass on the smallest ``L_k`` coordinate minimizes it for every
+  ``p >= 1``, the optimum selects the single most reliable source.
+* :class:`TopJSelectionWeights` — ``delta(W) = (1/j) sum_k w_k = 1`` with
+  ``w_k`` binary (Eq. 7).  The integer program is linear with a cardinality
+  constraint, so ranking sources by ``L_k`` and taking the best ``j`` is
+  the exact solution.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class WeightScheme(abc.ABC):
+    """Solves the weight step ``argmin_W f(X*, W) s.t. delta(W) = 1``."""
+
+    #: registry key
+    name: str
+
+    @abc.abstractmethod
+    def weights(self, per_source_loss: np.ndarray) -> np.ndarray:
+        """Optimal source weights for the given ``(K,)`` deviation vector."""
+
+    @staticmethod
+    def _validated(per_source_loss: np.ndarray) -> np.ndarray:
+        loss = np.asarray(per_source_loss, dtype=np.float64)
+        if loss.ndim != 1 or loss.size == 0:
+            raise ValueError(f"expected non-empty (K,) vector, got {loss.shape}")
+        if (loss < 0).any() or np.isnan(loss).any():
+            raise ValueError("per-source deviations must be non-negative")
+        return loss
+
+
+class ExponentialWeights(WeightScheme):
+    """Closed-form weights for the exponential regularizer (Eqs. 4-5).
+
+    Parameters
+    ----------
+    normalizer:
+        ``"max"`` (the paper's recommended scheme: the least reliable source
+        is pinned at weight 0 and the gap to it sets everyone else's
+        weight) or ``"sum"`` (the literal Eq. 5).
+    floor_ratio:
+        A perfect source (zero deviation) would receive infinite weight;
+        its deviation is floored at ``floor_ratio * max_k L_k`` so weights
+        remain finite while still dominating every imperfect source.
+    """
+
+    name = "exponential"
+
+    def __init__(self, normalizer: str = "max",
+                 floor_ratio: float = 1e-10) -> None:
+        if normalizer not in ("max", "sum"):
+            raise ValueError(
+                f"normalizer must be 'max' or 'sum', got {normalizer!r}"
+            )
+        if not 0 < floor_ratio < 1:
+            raise ValueError("floor_ratio must be in (0, 1)")
+        self.normalizer = normalizer
+        self.floor_ratio = floor_ratio
+
+    def weights(self, per_source_loss: np.ndarray) -> np.ndarray:
+        loss = self._validated(per_source_loss)
+        top = loss.max()
+        if top <= 0:
+            # Every source matches the truths exactly; all equally reliable.
+            return np.ones_like(loss)
+        floored = np.maximum(loss, self.floor_ratio * top)
+        denominator = top if self.normalizer == "max" else floored.sum()
+        w = -np.log(floored / denominator)
+        if self.normalizer == "max" and not w.any():
+            # All deviations equal: -log(1) == 0 everywhere, which would
+            # zero out the truth step.  Equal deviations mean equally
+            # reliable sources, so fall back to uniform weights.
+            return np.ones_like(loss)
+        return w
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialWeights(normalizer={self.normalizer!r})"
+
+
+class LpNormWeights(WeightScheme):
+    """Single-source selection under the Lp-norm constraint (Eq. 6)."""
+
+    name = "lp"
+
+    def __init__(self, p: int = 2) -> None:
+        if p < 1:
+            raise ValueError(f"p must be a positive integer >= 1, got {p}")
+        self.p = int(p)
+
+    def weights(self, per_source_loss: np.ndarray) -> np.ndarray:
+        loss = self._validated(per_source_loss)
+        w = np.zeros_like(loss)
+        w[int(loss.argmin())] = 1.0
+        return w
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LpNormWeights(p={self.p})"
+
+
+class TopJSelectionWeights(WeightScheme):
+    """Binary selection of the ``j`` most reliable sources (Eq. 7)."""
+
+    name = "top_j"
+
+    def __init__(self, j: int) -> None:
+        if j < 1:
+            raise ValueError(f"j must be >= 1, got {j}")
+        self.j = int(j)
+
+    def weights(self, per_source_loss: np.ndarray) -> np.ndarray:
+        loss = self._validated(per_source_loss)
+        if self.j > loss.size:
+            raise ValueError(
+                f"cannot select j={self.j} sources out of {loss.size}"
+            )
+        w = np.zeros_like(loss)
+        # argsort is stable, so ties resolve toward lower source indices.
+        w[np.argsort(loss, kind="stable")[: self.j]] = 1.0
+        return w
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TopJSelectionWeights(j={self.j})"
+
+
+def weight_scheme_by_name(name: str, **kwargs) -> WeightScheme:
+    """Instantiate a weight scheme by registry name."""
+    schemes: dict[str, type[WeightScheme]] = {
+        ExponentialWeights.name: ExponentialWeights,
+        LpNormWeights.name: LpNormWeights,
+        TopJSelectionWeights.name: TopJSelectionWeights,
+    }
+    try:
+        cls = schemes[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown weight scheme {name!r}; registered: {sorted(schemes)}"
+        ) from None
+    return cls(**kwargs)

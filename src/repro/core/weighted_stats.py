@@ -1,0 +1,262 @@
+"""Weighted aggregation primitives used by CRH truth updates.
+
+The truth step of CRH (Eq. 3) reduces to a weighted statistic per entry:
+weighted vote for the 0-1 loss, weighted mean for the squared losses,
+weighted median for the absolute loss.  This module implements each both
+as a readable scalar reference (used in tests as the oracle) and as a
+vectorized column-parallel version (used by the solver).
+
+The weighted median follows the paper's definition (Eq. 16, after
+[Cormen et al., Ch. 9]): it is the claimed value ``v_j`` such that the
+weight strictly below it is ``< W/2`` and the weight strictly above it is
+``<= W/2``, where ``W`` is the total weight.  Equivalently: the first value,
+in sorted order, at which the cumulative weight reaches ``W/2``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def weighted_median(values: Sequence[float],
+                    weights: Sequence[float]) -> float:
+    """Scalar weighted median per Eq. 16 of the paper.
+
+    ``values`` and ``weights`` must be equal-length and non-empty with
+    non-negative weights; zero-total weight falls back to the unweighted
+    median of the values.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    wts = np.asarray(weights, dtype=np.float64)
+    if vals.shape != wts.shape or vals.ndim != 1:
+        raise ValueError(
+            f"values {vals.shape} and weights {wts.shape} must be equal-"
+            f"length 1-d arrays"
+        )
+    if vals.size == 0:
+        raise ValueError("weighted median of empty set")
+    if (wts < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = wts.sum()
+    if total <= 0:
+        wts = np.ones_like(wts)
+        total = float(vals.size)
+    order = np.argsort(vals, kind="stable")
+    cumulative = np.cumsum(wts[order])
+    # First sorted position where cumulative weight reaches half the total:
+    # below it the mass is < W/2, above it the mass is <= W/2 (Eq. 16).
+    j = int(np.searchsorted(cumulative, total / 2.0))
+    return float(vals[order][min(j, vals.size - 1)])
+
+
+def weighted_median_select(values: Sequence[float],
+                           weights: Sequence[float]) -> float:
+    """Weighted median by expected-linear-time selection.
+
+    This is the algorithm the paper's Eq. 16 cites ([Cormen et al.,
+    Ch. 9]): partition around a pivot, recurse into the side holding the
+    weighted halfway point.  Expected O(n) versus the sort-based
+    O(n log n) of :func:`weighted_median`; both return the identical
+    value (property-tested).  The solver's hot path stays with the
+    vectorized sort-based version because numpy's sort beats a Python
+    quickselect at every realistic size — this function documents and
+    verifies the paper's referenced algorithm.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    wts = np.asarray(weights, dtype=np.float64)
+    if vals.shape != wts.shape or vals.ndim != 1:
+        raise ValueError(
+            f"values {vals.shape} and weights {wts.shape} must be equal-"
+            f"length 1-d arrays"
+        )
+    if vals.size == 0:
+        raise ValueError("weighted median of empty set")
+    if (wts < 0).any():
+        raise ValueError("weights must be non-negative")
+    if wts.sum() <= 0:
+        wts = np.ones_like(wts)
+    target = wts.sum() / 2.0
+    rng = np.random.default_rng(0)  # deterministic pivots
+
+    consumed = 0.0
+    while True:
+        if vals.size == 1:
+            return float(vals[0])
+        pivot = float(vals[rng.integers(0, vals.size)])
+        below = vals < pivot
+        equal = vals == pivot
+        above = vals > pivot
+        weight_below = consumed + wts[below].sum()
+        weight_at = weight_below + wts[equal].sum()
+        # Eq. 16: the median is the first value where the cumulative
+        # weight reaches half the total.
+        if weight_below >= target - 1e-12:
+            if not below.any():
+                return pivot
+            vals, wts = vals[below], wts[below]
+        elif weight_at >= target - 1e-12:
+            return pivot
+        else:
+            consumed = weight_at
+            vals, wts = vals[above], wts[above]
+
+
+def weighted_mean(values: Sequence[float],
+                  weights: Sequence[float]) -> float:
+    """Scalar weighted mean (truth update of Eq. 14)."""
+    vals = np.asarray(values, dtype=np.float64)
+    wts = np.asarray(weights, dtype=np.float64)
+    if vals.size == 0:
+        raise ValueError("weighted mean of empty set")
+    if (wts < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = wts.sum()
+    if total <= 0:
+        return float(vals.mean())
+    return float((vals * wts).sum() / total)
+
+
+def weighted_mode(values: Sequence[int], weights: Sequence[float],
+                  n_categories: int | None = None) -> int:
+    """Scalar weighted vote (Eq. 9): the code with the largest weight sum.
+
+    Ties break toward the smallest code, which keeps results deterministic
+    across runs and platforms.
+    """
+    vals = np.asarray(values, dtype=np.int64)
+    wts = np.asarray(weights, dtype=np.float64)
+    if vals.size == 0:
+        raise ValueError("weighted mode of empty set")
+    if (vals < 0).any():
+        raise ValueError("category codes must be non-negative")
+    size = int(vals.max()) + 1 if n_categories is None else n_categories
+    scores = np.zeros(size, dtype=np.float64)
+    np.add.at(scores, vals, wts)
+    return int(scores.argmax())
+
+
+# ----------------------------------------------------------------------
+# Column-parallel versions over (K, N) matrices with missing values
+# ----------------------------------------------------------------------
+
+def weighted_median_columns(values: np.ndarray,
+                            weights: np.ndarray) -> np.ndarray:
+    """Weighted median of every column of a ``(K, N)`` matrix.
+
+    ``NaN`` cells are missing observations and carry no weight.  Columns
+    with no observation yield ``NaN``; columns whose observed weight sums
+    to zero fall back to the unweighted median of their observed values.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"expected (K, N) matrix, got {values.shape}")
+    if weights.shape != (values.shape[0],):
+        raise ValueError(
+            f"weights shape {weights.shape} != (K={values.shape[0]},)"
+        )
+    observed = ~np.isnan(values)
+    weight_matrix = np.where(observed, weights[:, None], 0.0)
+    # Columns with observations but zero total weight: use uniform weights
+    # there so the median is still defined (mirrors the scalar fallback).
+    totals = weight_matrix.sum(axis=0)
+    zero_weight = (totals <= 0) & observed.any(axis=0)
+    if zero_weight.any():
+        weight_matrix[:, zero_weight] = np.where(
+            observed[:, zero_weight], 1.0, 0.0
+        )
+        totals = weight_matrix.sum(axis=0)
+
+    # np.sort places NaN last, so missing cells sink to the bottom of each
+    # column and their zero weights never perturb the cumulative sums.
+    order = np.argsort(values, axis=0, kind="stable")
+    sorted_values = np.take_along_axis(values, order, axis=0)
+    sorted_weights = np.take_along_axis(weight_matrix, order, axis=0)
+    cumulative = np.cumsum(sorted_weights, axis=0)
+
+    half = totals / 2.0
+    reached = cumulative >= half[None, :] - 1e-12
+    # First row index where the cumulative weight reaches W/2.
+    first = reached.argmax(axis=0)
+    result = sorted_values[first, np.arange(values.shape[1])]
+    result = np.where(totals > 0, result, np.nan)
+    return result
+
+
+def weighted_mean_columns(values: np.ndarray,
+                          weights: np.ndarray) -> np.ndarray:
+    """Weighted mean of every column of a ``(K, N)`` matrix (NaN-aware)."""
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    observed = ~np.isnan(values)
+    weight_matrix = np.where(observed, weights[:, None], 0.0)
+    totals = weight_matrix.sum(axis=0)
+    zero_weight = (totals <= 0) & observed.any(axis=0)
+    if zero_weight.any():
+        weight_matrix[:, zero_weight] = np.where(
+            observed[:, zero_weight], 1.0, 0.0
+        )
+        totals = weight_matrix.sum(axis=0)
+    sums = np.nansum(values * weight_matrix, axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        result = sums / totals
+    return np.where(totals > 0, result, np.nan)
+
+
+def weighted_vote_columns(codes: np.ndarray, weights: np.ndarray,
+                          n_categories: int) -> np.ndarray:
+    """Weighted vote per column of a ``(K, N)`` code matrix (Eq. 9).
+
+    ``codes`` holds non-negative category codes with ``-1`` for missing.
+    Returns an ``int32`` vector with ``-1`` for columns nobody observed.
+    Ties break toward the smallest code.
+    """
+    codes = np.asarray(codes)
+    weights = np.asarray(weights, dtype=np.float64)
+    if codes.ndim != 2:
+        raise ValueError(f"expected (K, N) matrix, got {codes.shape}")
+    k, n = codes.shape
+    observed = codes >= 0
+    weight_matrix = np.where(observed, weights[:, None], 0.0)
+    totals = weight_matrix.sum(axis=0)
+    zero_weight = (totals <= 0) & observed.any(axis=0)
+    if zero_weight.any():
+        weight_matrix[:, zero_weight] = np.where(
+            observed[:, zero_weight], 1.0, 0.0
+        )
+    scores = np.zeros((n_categories, n), dtype=np.float64)
+    columns = np.broadcast_to(np.arange(n), (k, n))
+    np.add.at(
+        scores,
+        (codes[observed], columns[observed]),
+        weight_matrix[observed],
+    )
+    winners = scores.argmax(axis=0).astype(np.int32)
+    winners[~observed.any(axis=0)] = -1
+    return winners
+
+
+def column_std(values: np.ndarray, floor: float = 1e-12) -> np.ndarray:
+    """Per-column standard deviation across observed sources.
+
+    This is the ``std(v^1_im, ..., v^K_im)`` normalizer of Eqs. 13/15.
+    Columns where the std would be zero (single observation, or unanimous
+    sources) fall back to 1.0 so the loss degrades to an unnormalized
+    distance instead of dividing by zero.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    observed = ~np.isnan(values)
+    counts = observed.sum(axis=0)
+    # Hand-rolled nan-std: np.nanstd warns on all-NaN columns, which are
+    # legitimate here (entries nobody observed fall back to std 1.0).
+    filled = np.where(observed, values, 0.0)
+    safe_counts = np.maximum(counts, 1)
+    mean = filled.sum(axis=0) / safe_counts
+    variance = (
+        np.where(observed, (values - mean[None, :]) ** 2, 0.0).sum(axis=0)
+        / safe_counts
+    )
+    std = np.sqrt(variance)
+    return np.where((std <= floor) | (counts < 2), 1.0, std)

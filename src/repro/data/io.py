@@ -1,0 +1,177 @@
+"""Persistence for multi-source datasets and truth tables.
+
+Two interchange formats are supported:
+
+* **Record CSV** — one ``(object_id, source_id, property, value)`` row per
+  observation, optionally with a ``timestamp`` column.  This mirrors the
+  ``(eID, v, sID)`` tuples of Section 2.7.1 and is the format the original
+  stock/flight corpora are distributed in.
+* **Truth CSV** — one row per object with one column per property, for
+  ground-truth tables.
+
+Both round-trip losslessly through the dense in-memory representation
+(categorical labels are written as text; continuous values as ``repr``
+floats so no precision is lost).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from .encoding import CategoricalCodec
+from .schema import DatasetSchema, PropertyKind, PropertySchema
+from .table import DatasetBuilder, MultiSourceDataset, TruthTable
+
+_RECORD_FIELDS = ("object_id", "source_id", "property", "value", "timestamp")
+
+
+def write_records_csv(dataset: MultiSourceDataset, path: str | Path) -> int:
+    """Write a dataset as record CSV; returns the number of rows written."""
+    from .records import dataset_to_records
+
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_RECORD_FIELDS)
+        for record in dataset_to_records(dataset):
+            value = record.value
+            if isinstance(value, float):
+                value = repr(value)
+            writer.writerow([
+                record.entry.object_id,
+                record.source_id,
+                record.entry.property_name,
+                value,
+                "" if record.timestamp is None else record.timestamp,
+            ])
+            rows += 1
+    return rows
+
+
+def read_records_csv(path: str | Path,
+                     schema: DatasetSchema) -> MultiSourceDataset:
+    """Read a record CSV written by :func:`write_records_csv`."""
+    path = Path(path)
+    builder = DatasetBuilder(schema)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_RECORD_FIELDS[:4]) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(
+                f"{path}: record CSV missing columns {sorted(missing)}"
+            )
+        for row in reader:
+            name = row["property"]
+            prop = schema[name]
+            raw = row["value"]
+            value: object = float(raw) if prop.is_continuous else raw
+            ts_text = row.get("timestamp") or ""
+            timestamp = int(ts_text) if ts_text else None
+            builder.add(row["object_id"], row["source_id"], name, value,
+                        timestamp=timestamp)
+    return builder.build()
+
+
+def write_truth_csv(truth: TruthTable, path: str | Path) -> int:
+    """Write a truth table as one-row-per-object CSV; empty cell = unlabeled."""
+    path = Path(path)
+    labels = truth.to_labels()
+    names = truth.schema.names()
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("object_id",) + names)
+        for i, object_id in enumerate(truth.object_ids):
+            row: list[object] = [object_id]
+            for name in names:
+                value = labels[name][i]
+                if value is None:
+                    row.append("")
+                elif isinstance(value, float):
+                    row.append(repr(value))
+                else:
+                    row.append(value)
+            writer.writerow(row)
+    return truth.n_objects
+
+
+def read_truth_csv(
+    path: str | Path,
+    schema: DatasetSchema,
+    codecs: Mapping[str, CategoricalCodec] | None = None,
+) -> TruthTable:
+    """Read a truth CSV; pass the dataset's codecs so codes stay aligned."""
+    path = Path(path)
+    object_ids: list[str] = []
+    values: dict[str, list] = {p.name: [] for p in schema}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for prop in schema:
+            if reader.fieldnames is None or prop.name not in reader.fieldnames:
+                raise ValueError(
+                    f"{path}: truth CSV missing column {prop.name!r}"
+                )
+        for row in reader:
+            object_ids.append(row["object_id"])
+            for prop in schema:
+                raw = row[prop.name]
+                if raw == "":
+                    values[prop.name].append(
+                        None if prop.uses_codec else float("nan")
+                    )
+                elif prop.is_continuous:
+                    values[prop.name].append(float(raw))
+                else:
+                    values[prop.name].append(raw)
+    return TruthTable.from_labels(schema, object_ids, values, codecs=codecs)
+
+
+def schema_to_json(schema: DatasetSchema) -> str:
+    """Serialize a schema to a JSON string."""
+    payload = [
+        {
+            "name": p.name,
+            "kind": p.kind.value,
+            "categories": list(p.categories) if p.categories else None,
+            "unit": p.unit,
+        }
+        for p in schema
+    ]
+    return json.dumps(payload, indent=2)
+
+
+def schema_from_json(text: str) -> DatasetSchema:
+    """Parse a schema serialized by :func:`schema_to_json`."""
+    payload = json.loads(text)
+    props = []
+    for item in payload:
+        props.append(
+            PropertySchema(
+                name=item["name"],
+                kind=PropertyKind(item["kind"]),
+                categories=(tuple(item["categories"])
+                            if item.get("categories") else None),
+                unit=item.get("unit"),
+            )
+        )
+    return DatasetSchema(properties=tuple(props))
+
+
+def save_dataset(dataset: MultiSourceDataset, directory: str | Path) -> None:
+    """Save schema + records (+ optional stats) under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "schema.json").write_text(schema_to_json(dataset.schema))
+    write_records_csv(dataset, directory / "records.csv")
+
+
+def load_dataset(directory: str | Path) -> MultiSourceDataset:
+    """Load a dataset saved by :func:`save_dataset`."""
+    directory = Path(directory)
+    schema = schema_from_json((directory / "schema.json").read_text())
+    return read_records_csv(directory / "records.csv", schema)

@@ -1,0 +1,139 @@
+"""Integrity checks for datasets and truth tables.
+
+These checks catch the data bugs that silently corrupt truth-discovery
+results: codes outside a codec's range, NaN contamination in categorical
+matrices, truth tables misaligned with the datasets they describe, and
+sources that claim nothing at all (which would make the per-source
+deviation normalization of Section 2.5 divide by zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .encoding import MISSING_CODE
+from .table import MultiSourceDataset, TruthTable
+
+
+class ValidationError(ValueError):
+    """A dataset or truth table violated a structural invariant."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass: errors are fatal, warnings are not."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        """Raise ValidationError when the report has errors."""
+        if self.errors:
+            raise ValidationError("; ".join(self.errors))
+
+
+def validate_dataset(dataset: MultiSourceDataset,
+                     require_all_sources_active: bool = True,
+                     ) -> ValidationReport:
+    """Check a dataset's structural invariants.
+
+    * every categorical code is either ``MISSING_CODE`` or a valid codec code;
+    * continuous matrices contain only finite values or ``NaN``;
+    * every object is observed by at least one source on some property;
+    * (optionally) every source makes at least one observation.
+    """
+    report = ValidationReport()
+    for prop in dataset.properties:
+        name = prop.schema.name
+        if prop.schema.uses_codec:
+            codes = prop.values
+            bad = (codes != MISSING_CODE) & (
+                (codes < 0) | (codes >= len(prop.codec))
+            )
+            if bad.any():
+                report.errors.append(
+                    f"property {name!r}: {int(bad.sum())} codes outside "
+                    f"codec range (codec size {len(prop.codec)})"
+                )
+        else:
+            values = prop.values
+            infinite = np.isinf(values)
+            if infinite.any():
+                report.errors.append(
+                    f"property {name!r}: {int(infinite.sum())} infinite "
+                    f"values (use NaN for missing)"
+                )
+    per_object = np.zeros(dataset.n_objects, dtype=bool)
+    per_source = np.zeros(dataset.n_sources, dtype=bool)
+    for prop in dataset.properties:
+        observed = prop.observed_mask()
+        per_object |= observed.any(axis=0)
+        per_source |= observed.any(axis=1)
+    if not per_object.all():
+        silent = [dataset.object_ids[i] for i in np.flatnonzero(~per_object)]
+        report.errors.append(
+            f"{len(silent)} objects have no observations at all "
+            f"(first few: {silent[:3]})"
+        )
+    if not per_source.all():
+        silent = [dataset.source_ids[i] for i in np.flatnonzero(~per_source)]
+        message = (
+            f"{len(silent)} sources make no observations "
+            f"(first few: {silent[:3]})"
+        )
+        if require_all_sources_active:
+            report.errors.append(message)
+        else:
+            report.warnings.append(message)
+    return report
+
+
+def validate_truth_alignment(dataset: MultiSourceDataset,
+                             truth: TruthTable) -> ValidationReport:
+    """Check that a truth table describes the same objects/properties.
+
+    The truth table must share the dataset's object ordering and property
+    schema, and its categorical codes must be decodable — they may exceed
+    the dataset's *observed* label set (a truth nobody claimed) but must be
+    inside the shared codec.
+    """
+    report = ValidationReport()
+    if truth.schema.names() != dataset.schema.names():
+        report.errors.append(
+            f"schema mismatch: truth {truth.schema.names()} vs "
+            f"dataset {dataset.schema.names()}"
+        )
+        return report
+    if truth.object_ids != dataset.object_ids:
+        report.errors.append(
+            "object id sequence mismatch between truth table and dataset"
+        )
+        return report
+    for m, prop in enumerate(dataset.schema):
+        if not prop.uses_codec:
+            continue
+        codec = truth.codecs.get(prop.name)
+        if codec is None:
+            report.errors.append(f"truth table lacks codec for {prop.name!r}")
+            continue
+        if codec is not dataset.properties[m].codec:
+            # Different codec objects are fine only if they agree on labels
+            # for all codes the truth actually uses.
+            column = truth.columns[m]
+            used = column[column != MISSING_CODE]
+            ds_codec = dataset.properties[m].codec
+            for code in np.unique(used):
+                label = codec.decode(int(code))
+                if label in ds_codec and ds_codec.encode(label) != int(code):
+                    report.errors.append(
+                        f"property {prop.name!r}: label {label!r} encodes "
+                        f"differently in truth table and dataset"
+                    )
+                    break
+    return report

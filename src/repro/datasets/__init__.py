@@ -1,0 +1,69 @@
+"""Workload generators reproducing the paper's evaluation datasets.
+
+Real crawled corpora (weather sites, deep-web stock/flight pages, UCI
+downloads) are not available offline, so each is replaced by a seeded
+synthetic generator that preserves the structure the experiments exercise
+— heterogeneous property types, sources with distinct-but-consistent
+reliability, realistic missing rates and partial ground truth.  See
+DESIGN.md ("Substitutions") for the per-dataset argument.
+"""
+
+from .base import GeneratedData
+from .flight import FlightConfig, flight_schema, generate_flight_dataset
+from .multisource import (
+    PAPER_GAMMAS,
+    reliable_unreliable_mix,
+    simulate_sources,
+)
+from .noise import NoiseModel, expected_categorical_accuracy
+from .stats import DatasetStatistics, dataset_statistics
+from .stock import StockConfig, generate_stock_dataset, stock_schema
+from .uci_io import UCIFormatError, load_adult_truth, load_bank_truth
+from .uci import (
+    ADULT_FULL_OBJECTS,
+    ADULT_ROUNDING,
+    BANK_FULL_OBJECTS,
+    BANK_ROUNDING,
+    adult_schema,
+    bank_schema,
+    generate_adult_truth,
+    generate_bank_truth,
+)
+from .weather import (
+    CONDITIONS,
+    WeatherConfig,
+    generate_weather_dataset,
+    weather_schema,
+)
+
+__all__ = [
+    "ADULT_FULL_OBJECTS",
+    "ADULT_ROUNDING",
+    "BANK_FULL_OBJECTS",
+    "BANK_ROUNDING",
+    "CONDITIONS",
+    "DatasetStatistics",
+    "FlightConfig",
+    "GeneratedData",
+    "NoiseModel",
+    "PAPER_GAMMAS",
+    "StockConfig",
+    "UCIFormatError",
+    "WeatherConfig",
+    "adult_schema",
+    "bank_schema",
+    "dataset_statistics",
+    "expected_categorical_accuracy",
+    "flight_schema",
+    "generate_adult_truth",
+    "generate_bank_truth",
+    "generate_flight_dataset",
+    "generate_stock_dataset",
+    "generate_weather_dataset",
+    "load_adult_truth",
+    "load_bank_truth",
+    "reliable_unreliable_mix",
+    "simulate_sources",
+    "stock_schema",
+    "weather_schema",
+]

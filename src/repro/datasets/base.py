@@ -1,0 +1,38 @@
+"""Common return type for the dataset generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.table import MultiSourceDataset, TruthTable
+
+
+@dataclass(frozen=True)
+class GeneratedData:
+    """A generated workload: observations, ground truth, and the generative
+    per-source error scales.
+
+    ``source_error_scale`` is the knob each source was generated with
+    (higher = noisier); it is *not* available to any truth-discovery
+    method — tests and Fig. 1 use it to check that estimated reliability
+    ranks sources correctly.
+    """
+
+    dataset: MultiSourceDataset
+    truth: TruthTable
+    source_error_scale: np.ndarray
+    #: generator-specific ground-truth metadata (e.g. the stock
+    #: generator's ``feed_of_source`` wiring); never visible to methods
+    extras: dict = field(default_factory=dict)
+
+    def __iter__(self):
+        """Allow ``dataset, truth = generate_...()`` unpacking."""
+        return iter((self.dataset, self.truth))
+
+    def __post_init__(self) -> None:
+        if len(self.source_error_scale) != self.dataset.n_sources:
+            raise ValueError(
+                "source_error_scale length does not match source count"
+            )

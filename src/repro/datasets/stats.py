@@ -1,0 +1,39 @@
+"""Dataset statistics in the shape of Tables 1 and 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.table import MultiSourceDataset, TruthTable
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The three counters the paper reports per dataset."""
+
+    name: str
+    n_observations: int
+    n_entries: int
+    n_ground_truths: int
+
+    def as_row(self) -> tuple[str, int, int, int]:
+        """The counters as a (name, obs, entries, truths) row."""
+        return (self.name, self.n_observations, self.n_entries,
+                self.n_ground_truths)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: observations={self.n_observations:,} "
+            f"entries={self.n_entries:,} truths={self.n_ground_truths:,}"
+        )
+
+
+def dataset_statistics(name: str, dataset: MultiSourceDataset,
+                       truth: TruthTable) -> DatasetStatistics:
+    """Compute the Table 1 / Table 3 counters for one dataset."""
+    return DatasetStatistics(
+        name=name,
+        n_observations=dataset.n_observations(),
+        n_entries=dataset.n_entries(),
+        n_ground_truths=truth.n_truths(),
+    )

@@ -1,0 +1,305 @@
+"""Synthetic weather-forecast integration workload (Section 3.2.1).
+
+The paper crawls forecasts from three platforms (Wunderground, HAM
+Weather, World Weather Online), treating each platform's 1/2/3-day-ahead
+forecast as a separate source — nine sources total — for 20 US cities over
+a month, with three properties: high temperature, low temperature
+(continuous) and weather condition (categorical).  Ground truth is the
+observed weather; only a subset of entries is labeled (1,740 of 1,920 at
+paper scale).
+
+This generator reproduces that workload synthetically:
+
+* each city follows a seasonal + AR(1) temperature process, and its daily
+  condition is drawn conditioned on temperature (hot & dry -> sunny, cold
+  -> snow, ...), so conditions correlate with the continuous properties
+  exactly as real weather does;
+* each source's error scale is ``platform quality x horizon degradation``
+  — a 3-day-ahead forecast from a sloppy platform is much noisier than a
+  1-day-ahead forecast from a careful one — giving the nine sources the
+  spread of reliability that Fig. 1 plots;
+* ~7% of observations are missing and ~9% of objects carry no ground
+  truth, matching Table 1's arithmetic.
+
+Objects are (city, day) pairs; the day index doubles as the stream
+timestamp for the I-CRH experiments (Figs. 4-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.encoding import MISSING_CODE
+from ..data.schema import DatasetSchema, categorical, continuous
+from ..data.table import (
+    MultiSourceDataset,
+    PropertyObservations,
+    TruthTable,
+)
+from .base import GeneratedData
+
+CONDITIONS = ("sunny", "partly-cloudy", "cloudy", "rain", "storm", "snow")
+
+_CITIES = (
+    "new-york", "los-angeles", "chicago", "houston", "phoenix",
+    "philadelphia", "san-antonio", "san-diego", "dallas", "san-jose",
+    "austin", "jacksonville", "columbus", "fort-worth", "charlotte",
+    "seattle", "denver", "boston", "detroit", "memphis",
+)
+
+
+@dataclass(frozen=True)
+class WeatherConfig:
+    """Knobs of the weather workload; defaults match the paper's Table 1."""
+
+    n_cities: int = 20
+    n_days: int = 32
+    platforms: tuple[str, ...] = ("wunderground", "hamweather", "wwo")
+    #: per-platform temperature error std in degrees F at horizon 1
+    platform_quality: tuple[float, ...] = (1.2, 2.0, 3.2)
+    #: error multiplier per forecast horizon (1, 2, 3 days ahead)
+    horizon_factor: tuple[float, ...] = (1.0, 1.8, 2.8)
+    #: per-platform condition error probability at horizon 1.
+    #: Conditions are genuinely hard to forecast (and hard to normalize
+    #: across sites), which is why the paper's weather error rates sit
+    #: near 0.4-0.5 even for the best methods.
+    platform_condition_error: tuple[float, ...] = (0.28, 0.40, 0.52)
+    #: error multiplier per horizon for conditions
+    condition_horizon_factor: tuple[float, ...] = (1.0, 1.25, 1.5)
+    #: probability that a forecast is a gross blunder (stale page, wrong
+    #: city, unit mix-up) off by tens of degrees — the outliers that make
+    #: the weighted median (Eq. 15/16) the right continuous loss
+    blunder_rate: float = 0.03
+    #: probability that a wrong condition is the *climatological default*
+    #: for that temperature rather than a uniform other value.  Sloppy
+    #: forecast sites fall back to the seasonal norm, so their errors are
+    #: correlated — the regime where majority voting is fooled but
+    #: reliability-weighted voting is not.
+    condition_bias: float = 0.65
+    #: log-normal sigma of each source's per-category skill variation: a
+    #: site may distinguish rain reliably yet constantly confuse the cloud
+    #: variants.  Soft multi-source combination (CRH's weighted vote)
+    #: averages these local weaknesses out; winner-take-all methods that
+    #: commit to one globally-best source inherit its blind spots.
+    category_skill_sigma: float = 0.6
+    #: per-source missing-observation rate, drawn uniformly from this
+    #: range: crawled sites differ a lot in coverage, and uneven claim
+    #: counts are exactly what Section 2.5's count-normalization handles
+    #: (and what hurts methods that split trust uniformly over claims).
+    missing_rate_range: tuple[float, float] = (0.01, 0.22)
+    truth_fraction: float = 580 / 640
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cities < 1 or self.n_days < 1:
+            raise ValueError("need at least one city and one day")
+        if self.n_cities > len(_CITIES):
+            raise ValueError(f"at most {len(_CITIES)} cities are named")
+        if len(self.platform_quality) != len(self.platforms):
+            raise ValueError("one quality value per platform required")
+        if len(self.platform_condition_error) != len(self.platforms):
+            raise ValueError("one condition-error value per platform required")
+        if not 0 <= self.blunder_rate < 1:
+            raise ValueError("blunder_rate must be in [0, 1)")
+        if not 0 <= self.condition_bias <= 1:
+            raise ValueError("condition_bias must be in [0, 1]")
+        if self.category_skill_sigma < 0:
+            raise ValueError("category_skill_sigma must be non-negative")
+        lo, hi = self.missing_rate_range
+        if not 0 <= lo <= hi < 1:
+            raise ValueError(
+                "missing_rate_range must satisfy 0 <= lo <= hi < 1"
+            )
+        if not 0 < self.truth_fraction <= 1:
+            raise ValueError("truth_fraction must be in (0, 1]")
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.platforms) * len(self.horizon_factor)
+
+    def source_ids(self) -> list[str]:
+        """The nine platform/horizon source identifiers."""
+        return [
+            f"{platform}/day+{h + 1}"
+            for platform in self.platforms
+            for h in range(len(self.horizon_factor))
+        ]
+
+    def source_error_scales(self) -> np.ndarray:
+        """Generative temperature-error std per source (tests' oracle)."""
+        return np.array([
+            quality * factor
+            for quality in self.platform_quality
+            for factor in self.horizon_factor
+        ])
+
+    def source_condition_errors(self) -> np.ndarray:
+        """Generative condition error probability per source."""
+        return np.array([
+            min(err * factor, 0.85)
+            for err in self.platform_condition_error
+            for factor in self.condition_horizon_factor
+        ])
+
+
+def weather_schema() -> DatasetSchema:
+    """The 3-property weather schema (2 continuous, 1 categorical)."""
+    return DatasetSchema.of(
+        continuous("high_temp", unit="F"),
+        continuous("low_temp", unit="F"),
+        categorical("condition", CONDITIONS),
+    )
+
+
+def _city_climate(rng: np.random.Generator, n_cities: int,
+                  n_days: int) -> tuple[np.ndarray, np.ndarray]:
+    """True (high, low) temperature matrices of shape (n_cities, n_days)."""
+    base = rng.uniform(35.0, 95.0, n_cities)          # city climate
+    swing = rng.uniform(12.0, 24.0, n_cities)         # day/night spread
+    drift = rng.uniform(-0.4, 0.4, n_cities)          # seasonal trend per day
+    highs = np.empty((n_cities, n_days))
+    anomaly = rng.normal(0.0, 4.0, n_cities)
+    for day in range(n_days):
+        anomaly = 0.7 * anomaly + rng.normal(0.0, 3.0, n_cities)
+        highs[:, day] = base + drift * day + anomaly
+    lows = highs - swing[:, None] + rng.normal(0.0, 2.0, (n_cities, n_days))
+    return highs.round(), lows.round()
+
+
+def _condition_probabilities(high: float) -> np.ndarray:
+    """Condition distribution given a day's high temperature."""
+    # Columns follow CONDITIONS order.
+    if high >= 85:
+        p = [0.45, 0.25, 0.10, 0.10, 0.10, 0.00]
+    elif high >= 65:
+        p = [0.30, 0.25, 0.20, 0.17, 0.08, 0.00]
+    elif high >= 40:
+        p = [0.20, 0.22, 0.28, 0.24, 0.04, 0.02]
+    else:
+        p = [0.15, 0.18, 0.27, 0.05, 0.02, 0.33]
+    return np.asarray(p)
+
+
+def generate_weather_dataset(
+    config: WeatherConfig | None = None,
+    seed: int | None = None,
+) -> GeneratedData:
+    """Generate the weather workload; see module docstring.
+
+    ``seed`` overrides ``config.seed`` for convenience:
+    ``generate_weather_dataset(seed=7)``.
+    """
+    if config is None:
+        config = WeatherConfig()
+    if seed is not None:
+        config = WeatherConfig(**{**config.__dict__, "seed": seed})
+    rng = np.random.default_rng(config.seed)
+    schema = weather_schema()
+    n_cities, n_days = config.n_cities, config.n_days
+    n = n_cities * n_days
+    k = config.n_sources
+
+    highs, lows = _city_climate(rng, n_cities, n_days)
+    true_high = highs.ravel()
+    true_low = lows.ravel()
+    condition_codes = np.empty(n, dtype=np.int32)
+    default_wrong = np.empty(n, dtype=np.int32)
+    for i, high in enumerate(true_high):
+        probabilities = _condition_probabilities(high)
+        condition_codes[i] = rng.choice(len(CONDITIONS), p=probabilities)
+        # The climatological fallback a lazy site would publish: the most
+        # likely condition for this temperature that is not the truth.
+        ranked = np.argsort(-probabilities)
+        default_wrong[i] = (
+            ranked[1] if ranked[0] == condition_codes[i] else ranked[0]
+        )
+
+    object_ids = [
+        f"{_CITIES[c]}/{day:02d}"
+        for c in range(n_cities)
+        for day in range(n_days)
+    ]
+    timestamps = np.tile(np.arange(n_days), n_cities)
+
+    temp_scales = config.source_error_scales()
+    cond_errors = config.source_condition_errors()
+
+    high_obs = np.empty((k, n))
+    low_obs = np.empty((k, n))
+    cond_obs = np.empty((k, n), dtype=np.int32)
+    # Gross blunders scale with how sloppy the source already is.
+    blunder_rates = config.blunder_rate * (
+        temp_scales / temp_scales.max()
+    ) * 2.0
+    for src in range(k):
+        high_obs[src] = (true_high
+                         + rng.normal(0.0, temp_scales[src], n)).round()
+        low_obs[src] = (true_low
+                        + rng.normal(0.0, temp_scales[src], n)).round()
+        blunder = rng.random(n) < blunder_rates[src]
+        if blunder.any():
+            magnitude = rng.uniform(15.0, 40.0, int(blunder.sum()))
+            sign = np.where(rng.random(int(blunder.sum())) < 0.5, -1.0, 1.0)
+            high_obs[src, blunder] += (sign * magnitude).round()
+            low_obs[src, blunder] += (sign * magnitude).round()
+        skill = np.exp(
+            rng.normal(0.0, config.category_skill_sigma, len(CONDITIONS))
+        )
+        per_entry_error = np.clip(
+            cond_errors[src] * skill[condition_codes], 0.0, 0.9
+        )
+        flip = rng.random(n) < per_entry_error
+        offsets = rng.integers(1, len(CONDITIONS), n)
+        uniform_wrong = (condition_codes + offsets) % len(CONDITIONS)
+        to_default = rng.random(n) < config.condition_bias
+        wrong = np.where(to_default, default_wrong, uniform_wrong)
+        cond_obs[src] = np.where(flip, wrong, condition_codes)
+    # Forecasts never invert high/low.
+    low_obs = np.minimum(low_obs, high_obs - 1.0)
+
+    lo, hi = config.missing_rate_range
+    if hi > 0:
+        source_missing = rng.uniform(lo, hi, k)[:, None]
+        for matrix in (high_obs, low_obs):
+            matrix[rng.random((k, n)) < source_missing] = np.nan
+        cond_obs[rng.random((k, n)) < source_missing] = MISSING_CODE
+
+    # Build property matrices through a builder-free fast path.
+    from ..data.encoding import CategoricalCodec
+
+    codec = CategoricalCodec.from_domain(CONDITIONS)
+    properties = [
+        PropertyObservations(schema=schema[0], values=high_obs),
+        PropertyObservations(schema=schema[1], values=low_obs),
+        PropertyObservations(schema=schema[2], values=cond_obs, codec=codec),
+    ]
+    dataset = MultiSourceDataset(
+        schema=schema,
+        source_ids=config.source_ids(),
+        object_ids=object_ids,
+        properties=properties,
+        object_timestamps=timestamps,
+    )
+
+    # Partial ground truth: a random subset of objects is labeled.
+    n_labeled = max(1, round(config.truth_fraction * n))
+    labeled = np.zeros(n, dtype=bool)
+    labeled[rng.choice(n, size=n_labeled, replace=False)] = True
+    truth_high = np.where(labeled, true_high, np.nan)
+    truth_low = np.where(labeled, true_low, np.nan)
+    truth_cond = np.where(labeled, condition_codes, MISSING_CODE).astype(
+        np.int32
+    )
+    truth = TruthTable(
+        schema=schema,
+        object_ids=object_ids,
+        columns=[truth_high, truth_low, truth_cond],
+        codecs={"condition": codec},
+    )
+    return GeneratedData(
+        dataset=dataset,
+        truth=truth,
+        source_error_scale=temp_scales,
+    )

@@ -1,0 +1,114 @@
+"""Experiment runners — one per table and figure of the paper.
+
+Every runner returns a structured result with a ``render()`` method that
+prints the same rows/series the paper reports.  The mapping from paper
+artifact to runner:
+
+==========  =========================================================
+Table 1     :func:`repro.experiments.realworld.run_table1`
+Table 2     :func:`repro.experiments.realworld.run_table2`
+Fig. 1      :func:`repro.experiments.realworld.run_fig1`
+Table 3     :func:`repro.experiments.simulated.run_table3`
+Table 4     :func:`repro.experiments.simulated.run_table4`
+Figs. 2-3   :func:`repro.experiments.simulated.run_reliable_sources_sweep`
+Table 5     :func:`repro.experiments.icrh.run_table5`
+Fig. 4      :func:`repro.experiments.icrh.run_fig4`
+Fig. 5      :func:`repro.experiments.icrh.run_fig5`
+Fig. 6      :func:`repro.experiments.icrh.run_fig6`
+Table 6     :func:`repro.experiments.scaling.run_table6`
+Fig. 7      :func:`repro.experiments.scaling.run_fig7`
+Fig. 8      :func:`repro.experiments.scaling.run_fig8`
+==========  =========================================================
+"""
+
+from .ablations import (
+    AblationResult,
+    run_ablation_finegrained,
+    run_ablation_init,
+    run_ablation_joint,
+    run_ablation_losses,
+    run_ablation_selection,
+    run_ablation_weight_norm,
+)
+from .harness import MethodScore, MethodTable, run_method_table
+from .icrh import (
+    Fig4Result,
+    ParameterSweep,
+    Table5Result,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_table5,
+)
+from .realworld import (
+    FIG1_METHODS,
+    Fig1Result,
+    Table1Result,
+    default_workloads,
+    run_fig1,
+    run_table1,
+    run_table2,
+)
+from .render import render_ascii_plot, render_series, render_table
+from .scaling import (
+    Fig7Result,
+    Fig8Result,
+    ScalingPoint,
+    Table6Result,
+    run_fig7,
+    run_fig8,
+    run_table6,
+)
+from .simulated import (
+    FIG23_METHODS,
+    ReliableSourcesSweep,
+    Table3Result,
+    run_reliable_sources_sweep,
+    run_table3,
+    run_table4,
+    simulated_workloads,
+)
+
+__all__ = [
+    "AblationResult",
+    "FIG1_METHODS",
+    "FIG23_METHODS",
+    "Fig1Result",
+    "Fig4Result",
+    "Fig7Result",
+    "Fig8Result",
+    "MethodScore",
+    "MethodTable",
+    "ParameterSweep",
+    "ReliableSourcesSweep",
+    "ScalingPoint",
+    "Table1Result",
+    "Table3Result",
+    "Table5Result",
+    "Table6Result",
+    "default_workloads",
+    "render_ascii_plot",
+    "render_series",
+    "render_table",
+    "run_ablation_finegrained",
+    "run_ablation_init",
+    "run_ablation_joint",
+    "run_ablation_losses",
+    "run_ablation_selection",
+    "run_ablation_weight_norm",
+    "run_fig1",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_method_table",
+    "run_reliable_sources_sweep",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "simulated_workloads",
+]

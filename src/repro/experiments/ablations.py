@@ -1,0 +1,244 @@
+"""Ablation experiments probing the paper's design choices.
+
+Each runner isolates one decision DESIGN.md calls out — loss functions,
+weight normalizer, initialization, joint-vs-separate typing, source
+selection, fine-grained weights — and measures its effect on accuracy.
+Like the table/figure runners, each returns a structured result with a
+``render()`` method; the benchmarks in ``benchmarks/bench_ablation_*.py``
+call these and assert the expected direction of each effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core import (
+    ExponentialWeights,
+    crh,
+    fine_grained_crh,
+    select_best_source,
+    select_top_j_sources,
+)
+from ..data.schema import PropertyKind
+from ..datasets import (
+    StockConfig,
+    WeatherConfig,
+    generate_stock_dataset,
+    generate_weather_dataset,
+)
+from ..metrics import error_rate, mnad
+from .render import render_table
+
+
+@dataclass
+class AblationResult:
+    """Rows of (variant, error rate, MNAD[, extra]) for one ablation."""
+
+    title: str
+    headers: list[str]
+    rows: list[list]
+
+    def render(self) -> str:
+        """Render the ablation table as aligned text."""
+        return render_table(self.headers, self.rows, title=self.title)
+
+    def row(self, variant: str) -> list:
+        """Look up one variant's row by its label."""
+        for entry in self.rows:
+            if entry[0] == variant:
+                return entry
+        raise KeyError(variant)
+
+
+def _mean(values: list[float]) -> float:
+    return float(np.mean(values))
+
+
+def run_ablation_losses(seeds: Sequence[int] = (1, 2, 3)) -> AblationResult:
+    """Loss choices on the outlier-contaminated stock workload."""
+    scores: dict[tuple[str, str], list[tuple[float, float]]] = {}
+    for seed in seeds:
+        generated = generate_stock_dataset(StockConfig(seed=seed))
+        for cont_loss in ("absolute", "squared", "huber"):
+            for cat_loss in ("zero_one", "probability"):
+                result = crh(generated.dataset, continuous_loss=cont_loss,
+                             categorical_loss=cat_loss)
+                scores.setdefault((cont_loss, cat_loss), []).append((
+                    error_rate(result.truths, generated.truth),
+                    mnad(result.truths, generated.truth),
+                ))
+    rows = [
+        [f"{cont}+{cat}", _mean([v[0] for v in values]),
+         _mean([v[1] for v in values])]
+        for (cont, cat), values in scores.items()
+    ]
+    return AblationResult(
+        title=("Ablation: CRH loss choices on the stock workload "
+               "(outlier-contaminated continuous properties)"),
+        headers=["losses (continuous+categorical)", "Error Rate", "MNAD"],
+        rows=rows,
+    )
+
+
+def run_ablation_weight_norm(
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> AblationResult:
+    """Eq. 5 normalizer (max vs sum) on the weather workload."""
+    scores: dict[str, list[tuple[float, float]]] = {"max": [], "sum": []}
+    for seed in seeds:
+        generated = generate_weather_dataset(seed=seed)
+        for normalizer in ("max", "sum"):
+            result = crh(generated.dataset,
+                         weight_scheme=ExponentialWeights(normalizer))
+            scores[normalizer].append((
+                error_rate(result.truths, generated.truth),
+                mnad(result.truths, generated.truth),
+            ))
+    rows = [
+        [normalizer, _mean([v[0] for v in values]),
+         _mean([v[1] for v in values])]
+        for normalizer, values in scores.items()
+    ]
+    return AblationResult(
+        title="Ablation: Eq. 5 normalizer on the weather workload",
+        headers=["normalizer", "Error Rate", "MNAD"],
+        rows=rows,
+    )
+
+
+def run_ablation_init(seeds: Sequence[int] = (1, 2, 3)) -> AblationResult:
+    """Initialization strategies (Section 2.5) on the weather workload."""
+    scores: dict[str, list[tuple[float, float, int]]] = {}
+    for seed in seeds:
+        generated = generate_weather_dataset(seed=seed)
+        for initializer in ("vote_median", "vote_mean", "random"):
+            result = crh(generated.dataset, initializer=initializer,
+                         seed=seed)
+            scores.setdefault(initializer, []).append((
+                error_rate(result.truths, generated.truth),
+                mnad(result.truths, generated.truth),
+                result.iterations,
+            ))
+    rows = [
+        [name, _mean([v[0] for v in values]),
+         _mean([v[1] for v in values]),
+         _mean([v[2] for v in values])]
+        for name, values in scores.items()
+    ]
+    return AblationResult(
+        title="Ablation: truth initialization on the weather workload",
+        headers=["initializer", "Error Rate", "MNAD", "iterations"],
+        rows=rows,
+    )
+
+
+def run_ablation_joint(
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    categorical_missing: float = 0.7,
+) -> AblationResult:
+    """Joint vs per-type reliability estimation with scarce categorical
+    data — the paper's core claim isolated."""
+    joint_scores, separate_scores = [], []
+    for seed in seeds:
+        generated = generate_weather_dataset(WeatherConfig(seed=seed))
+        dataset, truth = generated.dataset, generated.truth
+        rng = np.random.default_rng(seed + 500)
+        condition = dataset.property_observations("condition")
+        condition.values[
+            rng.random(condition.values.shape) < categorical_missing
+        ] = -1
+        joint = crh(dataset)
+        joint_scores.append((
+            error_rate(joint.truths, truth), mnad(joint.truths, truth),
+        ))
+        cat = dataset.restrict_kind(PropertyKind.CATEGORICAL)
+        cont = dataset.restrict_kind(PropertyKind.CONTINUOUS)
+        separate_scores.append((
+            error_rate(crh(cat).truths,
+                       truth.restrict_kind(PropertyKind.CATEGORICAL)),
+            mnad(crh(cont).truths,
+                 truth.restrict_kind(PropertyKind.CONTINUOUS)),
+        ))
+    return AblationResult(
+        title=("Ablation: joint vs per-type reliability estimation "
+               f"(weather, {categorical_missing:.0%} of conditions "
+               f"missing)"),
+        headers=["estimation", "Error Rate", "MNAD"],
+        rows=[
+            ["joint (CRH)", _mean([s[0] for s in joint_scores]),
+             _mean([s[1] for s in joint_scores])],
+            ["per-type (CRH x2)", _mean([s[0] for s in separate_scores]),
+             _mean([s[1] for s in separate_scores])],
+        ],
+    )
+
+
+def run_ablation_selection(
+    seeds: Sequence[int] = (1, 2, 3),
+) -> AblationResult:
+    """Weight combination vs Eq. 6/7 source selection on weather."""
+    scores: dict[str, list[tuple[float, float]]] = {}
+    for seed in seeds:
+        generated = generate_weather_dataset(seed=seed)
+        dataset, truth = generated.dataset, generated.truth
+        candidates = {
+            "exponential (combine all)": crh(dataset),
+            "Lp-norm (best source)": select_best_source(dataset).result,
+            "top-3 selection": select_top_j_sources(dataset, j=3).result,
+            "top-6 selection": select_top_j_sources(dataset, j=6).result,
+        }
+        for name, result in candidates.items():
+            scores.setdefault(name, []).append((
+                error_rate(result.truths, truth),
+                mnad(result.truths, truth),
+            ))
+    rows = [
+        [name, _mean([v[0] for v in values]),
+         _mean([v[1] for v in values])]
+        for name, values in scores.items()
+    ]
+    return AblationResult(
+        title=("Ablation: weight combination vs source selection "
+               "(weather workload)"),
+        headers=["scheme", "Error Rate", "MNAD"],
+        rows=rows,
+    )
+
+
+def run_ablation_finegrained(
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> AblationResult:
+    """Global vs per-kind weights when per-type skill anti-correlates."""
+    global_scores, fine_scores = [], []
+    for seed in seeds:
+        config = WeatherConfig(
+            seed=seed,
+            platform_quality=(1.2, 2.0, 3.2),
+            # Reversed condition quality relative to temperature quality.
+            platform_condition_error=(0.52, 0.40, 0.28),
+        )
+        generated = generate_weather_dataset(config)
+        coarse = crh(generated.dataset)
+        fine = fine_grained_crh(generated.dataset)
+        global_scores.append((
+            error_rate(coarse.truths, generated.truth),
+            mnad(coarse.truths, generated.truth),
+        ))
+        fine_scores.append((
+            error_rate(fine.truths, generated.truth),
+            mnad(fine.truths, generated.truth),
+        ))
+    return AblationResult(
+        title=("Ablation: global vs fine-grained weights (weather with "
+               "anti-correlated per-type source skill)"),
+        headers=["weighting", "Error Rate", "MNAD"],
+        rows=[
+            ["global weights", _mean([s[0] for s in global_scores]),
+             _mean([s[1] for s in global_scores])],
+            ["fine-grained (per kind)", _mean([s[0] for s in fine_scores]),
+             _mean([s[1] for s in fine_scores])],
+        ],
+    )

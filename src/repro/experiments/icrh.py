@@ -1,0 +1,177 @@
+"""Incremental-CRH experiments: Table 5 and Figs. 4-6."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.solver import CRHSolver
+from ..metrics import error_rate, mnad, normalize_scores
+from ..streaming import ICRHConfig, icrh
+from .realworld import default_workloads
+from .render import render_series, render_table
+
+
+@dataclass
+class Table5Result:
+    """CRH vs I-CRH accuracy and runtime on the real-world datasets."""
+
+    rows: list[list]
+
+    def render(self) -> str:
+        """Render the Table 5 rows as aligned text."""
+        return render_table(
+            ["Dataset", "Method", "Error Rate", "MNAD", "Time (s)"],
+            self.rows,
+            title="Table 5: performance comparison of CRH and I-CRH",
+        )
+
+    def value(self, dataset: str, method: str, column: str) -> float:
+        """Look up one cell of the table by dataset/method/column."""
+        index = {"error_rate": 2, "mnad": 3, "seconds": 4}[column]
+        for row in self.rows:
+            if row[0] == dataset and row[1] == method:
+                return row[index]
+        raise KeyError((dataset, method))
+
+
+def run_table5(scale: float = 1.0, seed: int = 1,
+               window: int = 1, decay: float = 0.5) -> Table5Result:
+    """Regenerate Table 5: CRH vs I-CRH on weather/stock/flight."""
+    rows: list[list] = []
+    for name, generate in default_workloads(scale).items():
+        generated = generate(seed)
+        started = time.perf_counter()
+        batch = CRHSolver().fit(generated.dataset)
+        batch_seconds = time.perf_counter() - started
+        stream = icrh(generated.dataset, window=window,
+                      config=ICRHConfig(decay=decay))
+        rows.append([
+            name, "CRH",
+            error_rate(batch.truths, generated.truth),
+            mnad(batch.truths, generated.truth),
+            batch_seconds,
+        ])
+        rows.append([
+            name, "I-CRH",
+            error_rate(stream.truths, generated.truth),
+            mnad(stream.truths, generated.truth),
+            stream.result.elapsed_seconds,
+        ])
+    return Table5Result(rows=rows)
+
+
+@dataclass
+class Fig4Result:
+    """I-CRH source-weight trajectories and comparison with CRH.
+
+    ``weight_history`` is ``(T, K)`` (Fig. 4a); ``comparison`` holds the
+    normalized weights of I-CRH at the first timestamp, at the stable
+    timestamp, and of batch CRH (Fig. 4b).
+    """
+
+    source_ids: tuple
+    weight_history: np.ndarray
+    stable_timestamp: int
+    comparison: dict[str, np.ndarray]
+
+    def render(self) -> str:
+        """Render both Fig. 4 panels as aligned text."""
+        t_axis = list(range(1, self.weight_history.shape[0] + 1))
+        history = {
+            str(source): list(self.weight_history[:, k])
+            for k, source in enumerate(self.source_ids)
+        }
+        part_a = render_series(
+            "timestamp", t_axis, history,
+            title="Fig. 4a: I-CRH source weights per timestamp",
+        )
+        part_b = render_series(
+            "Source", [str(s) for s in self.source_ids],
+            {name: list(values) for name, values in self.comparison.items()},
+            title=("Fig. 4b: normalized source weights — I-CRH (first / "
+                   "stable timestamp) vs CRH"),
+        )
+        return part_a + "\n\n" + part_b
+
+
+def run_fig4(seed: int = 1, stable_timestamp: int = 6,
+             decay: float = 0.5) -> Fig4Result:
+    """Regenerate Fig. 4 on the weather stream."""
+    generated = default_workloads()["Weather"](seed)
+    stream = icrh(generated.dataset, window=1,
+                  config=ICRHConfig(decay=decay))
+    batch = CRHSolver().fit(generated.dataset)
+    history = stream.weight_history
+    stable = min(stable_timestamp, history.shape[0]) - 1
+    comparison = {
+        "I-CRH t=1": normalize_scores(history[0]),
+        f"I-CRH t={stable + 1}": normalize_scores(history[stable]),
+        "CRH": normalize_scores(batch.weights),
+    }
+    return Fig4Result(
+        source_ids=generated.dataset.source_ids,
+        weight_history=history,
+        stable_timestamp=stable + 1,
+        comparison=comparison,
+    )
+
+
+@dataclass
+class ParameterSweep:
+    """Error Rate and MNAD as one I-CRH parameter varies (Figs. 5-6)."""
+
+    parameter: str
+    values: tuple
+    error_rates: list[float]
+    mnads: list[float]
+
+    def render(self) -> str:
+        """Render the sweep as one row per parameter value."""
+        title = {
+            "window": "Fig. 5: I-CRH accuracy vs time-window size",
+            "decay": "Fig. 6: I-CRH accuracy vs decay rate alpha",
+        }.get(self.parameter, f"I-CRH accuracy vs {self.parameter}")
+        return render_series(
+            self.parameter, list(self.values),
+            {"Error Rate": self.error_rates, "MNAD": self.mnads},
+            title=title,
+        )
+
+
+def run_fig5(windows: Sequence[int] = (1, 2, 3, 4, 5, 6, 8, 10),
+             seed: int = 2, decay: float = 0.0) -> ParameterSweep:
+    """Regenerate Fig. 5: effect of the time-window size.
+
+    The sweep discounts history (``decay=0``) so the window size alone
+    controls how much data each weight estimate sees — the mechanism
+    behind the paper's "when the window size is too small, there are not
+    sufficient data to estimate accurate source weights" observation.
+    """
+    generated = default_workloads()["Weather"](seed)
+    error_rates, mnads = [], []
+    for window in windows:
+        stream = icrh(generated.dataset, window=window,
+                      config=ICRHConfig(decay=decay))
+        error_rates.append(error_rate(stream.truths, generated.truth))
+        mnads.append(mnad(stream.truths, generated.truth))
+    return ParameterSweep(parameter="window", values=tuple(windows),
+                          error_rates=error_rates, mnads=mnads)
+
+
+def run_fig6(decays: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                        0.6, 0.7, 0.8, 0.9, 1.0),
+             seed: int = 1, window: int = 1) -> ParameterSweep:
+    """Regenerate Fig. 6: effect of the decay rate alpha."""
+    generated = default_workloads()["Weather"](seed)
+    error_rates, mnads = [], []
+    for decay in decays:
+        stream = icrh(generated.dataset, window=window,
+                      config=ICRHConfig(decay=decay))
+        error_rates.append(error_rate(stream.truths, generated.truth))
+        mnads.append(mnad(stream.truths, generated.truth))
+    return ParameterSweep(parameter="decay", values=tuple(decays),
+                          error_rates=error_rates, mnads=mnads)

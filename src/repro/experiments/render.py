@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment tables and series.
+
+Every experiment runner returns structured results plus a ``render()``
+string that prints the same rows/series the paper's table or figure
+reports, so benchmark output is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value) -> str:
+    """Uniform cell formatting: NA for None, 4 decimals for floats."""
+    if value is None:
+        return "NA"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NA"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells))
+        if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(w) for h, w in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(x_label: str, x_values: Sequence,
+                  series: dict[str, Sequence],
+                  title: str | None = None) -> str:
+    """Render figure data as one row per x value, one column per series."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def render_ascii_plot(values: Sequence[float], width: int = 50,
+                      label: str = "") -> str:
+    """One-line bar chart for quick visual series comparison in logs."""
+    vals = [v for v in values if v is not None]
+    if not vals:
+        return f"{label} (no data)"
+    top = max(vals)
+    lines = [label] if label else []
+    for i, v in enumerate(values):
+        if v is None:
+            lines.append(f"  [{i:>3}] NA")
+            continue
+        bar = "#" * max(1, int(width * (v / top))) if top > 0 else ""
+        lines.append(f"  [{i:>3}] {v:>10.4f} {bar}")
+    return "\n".join(lines)

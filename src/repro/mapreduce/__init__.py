@@ -1,0 +1,47 @@
+"""In-process MapReduce substrate (Section 2.7's execution platform).
+
+Two engines share one job-statistics format and one cluster cost model:
+
+* :class:`LocalCluster` — record-at-a-time, classic ``(key, value)``
+  semantics; use it for clarity, tests, and small inputs;
+* :class:`VectorCluster` — columnar batches for the Table 6 / Fig. 7-8
+  scaling sweeps.
+
+The :class:`ClusterCostModel` converts volume statistics into *simulated
+cluster seconds* (see its docstring for the calibration argument), and
+:class:`SideFileStore` plays the role of the shared HDFS files the paper
+keeps weights and truths in between jobs.
+"""
+
+from .cost import ClusterCostModel, SimulatedClock
+from .engine import ClusterConfig, JobResult, LocalCluster
+from .fs import SideFileStore
+from .job import JobStats, MapReduceJob
+from .partitioner import array_partition, hash_partition
+from .vector import (
+    GroupedArrays,
+    KeyedArrays,
+    VectorCluster,
+    VectorJob,
+    VectorJobResult,
+    group_by_key,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterCostModel",
+    "GroupedArrays",
+    "JobResult",
+    "JobStats",
+    "KeyedArrays",
+    "LocalCluster",
+    "MapReduceJob",
+    "SideFileStore",
+    "SimulatedClock",
+    "VectorCluster",
+    "VectorJob",
+    "VectorJobResult",
+    "array_partition",
+    "group_by_key",
+    "hash_partition",
+]

@@ -1,0 +1,100 @@
+"""Side-file store shared by all tasks of a MapReduce run.
+
+Section 2.7 keeps the current source weights and the estimated truths "in
+an external file [that] all Reducer/Mapper nodes can read".  This module
+provides that shared store: a small versioned key/value space the driver
+writes between jobs and every task reads.  By default it is an in-memory
+dict; pass a ``directory`` to persist every write as an ``.npy`` file —
+the literal "external file" of the paper, and what a multi-process
+deployment would read through a shared filesystem.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+
+class SideFileStore:
+    """Versioned shared files for cross-job state (weights, truths).
+
+    With ``directory=None`` (default) files live in memory only; with a
+    directory, each write lands as ``<directory>/<name>.npy`` and reads
+    come back from disk, so independent processes sharing the directory
+    observe each other's updates.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._files: dict[str, np.ndarray] = {}
+        self._versions: dict[str, int] = {}
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        return self._directory / f"{name}.npy"
+
+    def write(self, name: str, data: np.ndarray) -> int:
+        """Store (a copy of) ``data`` under ``name``; returns the version."""
+        if not name:
+            raise ValueError("file name must be non-empty")
+        payload = np.array(data, copy=True)
+        if self._directory is not None:
+            # Write-then-rename so concurrent readers never see a torn
+            # file (np.save appends ".npy" unless the name already ends
+            # with it, hence the ".tmp.npy" suffix).
+            temporary = self._path(name).with_suffix(".tmp.npy")
+            np.save(temporary, payload)
+            temporary.replace(self._path(name))
+        else:
+            self._files[name] = payload
+        self._versions[name] = self._versions.get(name, 0) + 1
+        return self._versions[name]
+
+    def read(self, name: str) -> np.ndarray:
+        """Read (a copy of) the file; raises ``FileNotFoundError`` if absent."""
+        if self._directory is not None:
+            path = self._path(name)
+            if not path.exists():
+                raise FileNotFoundError(
+                    f"side file {name!r} does not exist in "
+                    f"{self._directory}"
+                )
+            return np.load(path)
+        try:
+            return self._files[name].copy()
+        except KeyError:
+            raise FileNotFoundError(
+                f"side file {name!r} does not exist; "
+                f"available: {sorted(self._files)}"
+            ) from None
+
+    def version(self, name: str) -> int:
+        """Number of times ``name`` has been written (0 = never)."""
+        return self._versions.get(name, 0)
+
+    def exists(self, name: str) -> bool:
+        """Whether a file with this name has been written."""
+        if self._directory is not None:
+            return self._path(name).exists()
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        """Remove the file if present (idempotent)."""
+        if self._directory is not None:
+            self._path(name).unlink(missing_ok=True)
+        else:
+            self._files.pop(name, None)
+
+    def _names(self) -> list[str]:
+        if self._directory is not None:
+            return sorted(p.stem for p in self._directory.glob("*.npy"))
+        return sorted(self._files)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._names())

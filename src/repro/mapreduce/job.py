@@ -1,0 +1,79 @@
+"""MapReduce job specification (Section 2.7's programming model).
+
+A job is a mapper, a reducer, and optionally a combiner — exactly the
+three user hooks of the MapReduce paper [35] that Section 2.7 programs
+against.  Mappers and reducers are plain callables:
+
+* ``mapper(key, value) -> iterable of (key', value')``
+* ``reducer(key', values) -> iterable of (key'', value'')``
+* ``combiner(key', values) -> iterable of (key', value')`` — run inside
+  each map task over that task's output, to shrink the shuffle (the paper
+  adds one for the weight-assignment step, Section 2.7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+MapFn = Callable[[Hashable, object], Iterable[tuple[Hashable, object]]]
+ReduceFn = Callable[[Hashable, list], Iterable[tuple[Hashable, object]]]
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """One MapReduce job: mapper + reducer (+ optional combiner)."""
+
+    name: str
+    mapper: MapFn
+    reducer: ReduceFn
+    combiner: ReduceFn | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if not callable(self.mapper) or not callable(self.reducer):
+            raise TypeError("mapper and reducer must be callable")
+        if self.combiner is not None and not callable(self.combiner):
+            raise TypeError("combiner must be callable when given")
+
+
+@dataclass
+class JobStats:
+    """Volume counters collected while a job executes.
+
+    These feed the :class:`~repro.mapreduce.cost.ClusterCostModel`: the
+    simulated cluster clock is a function of how many records moved
+    through each stage, not of local Python speed.
+    """
+
+    job_name: str = ""
+    map_input_records: int = 0
+    #: map-output records per map task (pre-combiner)
+    map_output_per_task: list[int] = None
+    #: records actually shuffled per map task (post-combiner)
+    shuffle_out_per_task: list[int] = None
+    #: records received per reduce task
+    shuffle_in_per_reducer: list[int] = None
+    reduce_output_records: int = 0
+
+    def __post_init__(self) -> None:
+        if self.map_output_per_task is None:
+            self.map_output_per_task = []
+        if self.shuffle_out_per_task is None:
+            self.shuffle_out_per_task = []
+        if self.shuffle_in_per_reducer is None:
+            self.shuffle_in_per_reducer = []
+
+    @property
+    def map_output_records(self) -> int:
+        return sum(self.map_output_per_task)
+
+    @property
+    def shuffled_records(self) -> int:
+        return sum(self.shuffle_in_per_reducer)
+
+    @property
+    def combiner_savings(self) -> int:
+        """Records the combiner removed from the shuffle."""
+        return self.map_output_records - sum(self.shuffle_out_per_task)

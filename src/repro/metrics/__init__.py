@@ -1,0 +1,24 @@
+"""Evaluation measures: Error Rate, MNAD, and source-reliability analysis."""
+
+from .accuracy import AccuracyReport, error_rate, evaluate, mnad
+from .reliability import (
+    ReliabilityComparison,
+    compare_reliability,
+    normalize_scores,
+    pearson_correlation,
+    rank_agreement,
+    true_source_reliability,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "ReliabilityComparison",
+    "compare_reliability",
+    "error_rate",
+    "evaluate",
+    "mnad",
+    "normalize_scores",
+    "pearson_correlation",
+    "rank_agreement",
+    "true_source_reliability",
+]

@@ -1,0 +1,25 @@
+"""Parallel CRH under the MapReduce model (Section 2.7)."""
+
+from .batches import (
+    KIND_CATEGORICAL,
+    KIND_CONTINUOUS,
+    RecordBatches,
+    prepare_batches,
+)
+from .crh_mapreduce import (
+    JobLogEntry,
+    ParallelCRHConfig,
+    ParallelCRHResult,
+    parallel_crh,
+)
+
+__all__ = [
+    "JobLogEntry",
+    "KIND_CATEGORICAL",
+    "KIND_CONTINUOUS",
+    "ParallelCRHConfig",
+    "ParallelCRHResult",
+    "RecordBatches",
+    "parallel_crh",
+    "prepare_batches",
+]

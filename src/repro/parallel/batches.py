@@ -1,0 +1,147 @@
+"""Record preparation for parallel CRH (Section 2.7.1's data format).
+
+Parallel CRH consumes ``(eID, v, sID)`` tuples.  This module flattens a
+dense :class:`~repro.data.table.MultiSourceDataset` into the columnar
+batches the vector MapReduce engine moves around:
+
+* continuous observations — entry ids in the *continuous entry space*
+  (``cont_property_index * N + object_index``), float values;
+* categorical observations — entry ids in the *categorical entry space*,
+  integer codes;
+* a combined batch for the weight-assignment job, which needs every
+  observation with a ``kind`` discriminator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.records import encoded_record_arrays
+from ..data.table import MultiSourceDataset
+from ..mapreduce.vector import KeyedArrays
+
+#: kind discriminator values in the combined batch
+KIND_CONTINUOUS = 0
+KIND_CATEGORICAL = 1
+
+
+@dataclass(frozen=True)
+class RecordBatches:
+    """The three columnar views parallel CRH runs its jobs over."""
+
+    #: keys = continuous entry id; columns: value (f8), source (i4)
+    continuous: KeyedArrays
+    #: keys = categorical entry id; columns: code (i4), source (i4)
+    categorical: KeyedArrays
+    #: keys = source id; columns: kind, entry, value (code as float)
+    combined: KeyedArrays
+    #: property indices (into the dataset schema) per entry-space slot
+    continuous_props: tuple[int, ...]
+    categorical_props: tuple[int, ...]
+    n_objects: int
+    n_sources: int
+    #: total category code space width (for composite vote keys)
+    code_space: int
+
+    @property
+    def n_continuous_entries(self) -> int:
+        return len(self.continuous_props) * self.n_objects
+
+    @property
+    def n_categorical_entries(self) -> int:
+        return len(self.categorical_props) * self.n_objects
+
+    @property
+    def n_observations(self) -> int:
+        return len(self.combined)
+
+
+def prepare_batches(dataset: MultiSourceDataset) -> RecordBatches:
+    """Flatten a dataset into parallel-CRH record batches.
+
+    Text properties are not supported by the MapReduce pipeline (their
+    weighted-medoid truth update needs pairwise edit distances, which do
+    not fit the segment-reduction reducers); use the in-memory solver.
+    """
+    from ..data.schema import PropertyKind
+    for prop in dataset.schema:
+        if prop.kind is PropertyKind.TEXT:
+            raise ValueError(
+                f"parallel CRH does not support text property "
+                f"{prop.name!r}; use repro.core.CRHSolver instead"
+            )
+    arrays = encoded_record_arrays(dataset)
+    n = dataset.n_objects
+
+    cont_props = tuple(dataset.schema.continuous_indices)
+    cat_props = tuple(dataset.schema.categorical_indices)
+
+    cont_keys, cont_vals, cont_srcs = [], [], []
+    for slot, m in enumerate(cont_props):
+        cols = arrays[dataset.schema[m].name]
+        cont_keys.append(slot * np.int64(n) + cols["object"].astype(np.int64))
+        cont_vals.append(cols["value"].astype(np.float64))
+        cont_srcs.append(cols["source"])
+    cat_keys, cat_codes, cat_srcs = [], [], []
+    code_space = 1
+    for slot, m in enumerate(cat_props):
+        cols = arrays[dataset.schema[m].name]
+        cat_keys.append(slot * np.int64(n) + cols["object"].astype(np.int64))
+        cat_codes.append(cols["value"].astype(np.int32))
+        cat_srcs.append(cols["source"])
+        code_space = max(code_space,
+                         len(dataset.properties[m].codec))
+
+    def concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+        if not parts:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(parts).astype(dtype)
+
+    continuous = KeyedArrays(
+        keys=concat(cont_keys, np.int64),
+        values={
+            "value": concat(cont_vals, np.float64),
+            "source": concat(cont_srcs, np.int32),
+        },
+    )
+    categorical = KeyedArrays(
+        keys=concat(cat_keys, np.int64),
+        values={
+            "code": concat(cat_codes, np.int32),
+            "source": concat(cat_srcs, np.int32),
+        },
+    )
+    combined = KeyedArrays(
+        keys=np.concatenate([
+            continuous.values["source"].astype(np.int64),
+            categorical.values["source"].astype(np.int64),
+        ]) if len(continuous) or len(categorical)
+        else np.empty(0, dtype=np.int64),
+        values={
+            "kind": np.concatenate([
+                np.full(len(continuous), KIND_CONTINUOUS, dtype=np.int8),
+                np.full(len(categorical), KIND_CATEGORICAL, dtype=np.int8),
+            ]),
+            "entry": np.concatenate([
+                continuous.keys, categorical.keys
+            ]) if len(continuous) or len(categorical)
+            else np.empty(0, dtype=np.int64),
+            "value": np.concatenate([
+                continuous.values["value"],
+                categorical.values["code"].astype(np.float64),
+            ]) if len(continuous) or len(categorical)
+            else np.empty(0, dtype=np.float64),
+        },
+    )
+    return RecordBatches(
+        continuous=continuous,
+        categorical=categorical,
+        combined=combined,
+        continuous_props=cont_props,
+        categorical_props=cat_props,
+        n_objects=n,
+        n_sources=dataset.n_sources,
+        code_space=code_space,
+    )

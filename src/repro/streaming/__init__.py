@@ -1,0 +1,14 @@
+"""Streaming truth discovery: incremental CRH (Section 2.6)."""
+
+from .icrh import ICRHConfig, ICRHResult, IncrementalCRH, icrh
+from .windows import StreamChunk, chunk_by_window, n_chunks
+
+__all__ = [
+    "ICRHConfig",
+    "ICRHResult",
+    "IncrementalCRH",
+    "StreamChunk",
+    "chunk_by_window",
+    "icrh",
+    "n_chunks",
+]

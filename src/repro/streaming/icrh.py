@@ -1,0 +1,249 @@
+"""Incremental CRH (I-CRH) — Algorithm 2 of the paper.
+
+I-CRH processes the stream one chunk at a time and never revisits past
+data:
+
+1. *truth step* — compute the chunk's truths from the source weights
+   learned on history (Eq. 3 with the current weights);
+2. *accumulate* — decay the per-source accumulated distances by ``alpha``
+   and add the chunk's deviations:
+   ``a_k <- a_k * alpha + sum_im d_m(v*_iml, v^k_iml)``;
+3. *weight step* — recompute weights from the accumulated distances.
+
+Smaller ``alpha`` forgets the past faster.  Observation counts are decayed
+with the same rate so the count normalization of Section 2.5 stays
+consistent under decay.  Each chunk costs a single pass — no inner
+iteration — which is where the Table 5 speedup over CRH comes from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.losses import Loss, loss_by_name
+from ..core.regularizers import ExponentialWeights, WeightScheme
+from ..core.result import TruthDiscoveryResult
+from ..core.solver import states_to_truth_table
+from ..data.encoding import MISSING_CODE
+from ..data.schema import PropertyKind
+from ..data.table import MultiSourceDataset, TruthTable
+from .windows import StreamChunk, chunk_by_window
+
+
+@dataclass(frozen=True)
+class ICRHConfig:
+    """Configuration of incremental CRH.
+
+    ``decay`` is the paper's ``alpha`` in [0, 1]: the impact of historical
+    data on the current weight estimate (0 = only the newest chunk
+    matters, 1 = all history counts equally).  Loss and weight-scheme
+    choices mirror :class:`~repro.core.solver.CRHConfig`.
+    """
+
+    decay: float = 0.5
+    categorical_loss: str = "zero_one"
+    continuous_loss: str = "absolute"
+    text_loss: str = "edit_distance"
+    weight_scheme: WeightScheme = field(
+        default_factory=lambda: ExponentialWeights(normalizer="max")
+    )
+    normalize_by_counts: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.decay <= 1.0:
+            raise ValueError(f"decay must be in [0, 1], got {self.decay}")
+
+
+class IncrementalCRH:
+    """Stateful one-pass truth discovery over arriving chunks.
+
+    Use :meth:`partial_fit` chunk by chunk (online deployment), or
+    :func:`icrh` to run over a whole timestamped dataset at once.
+    """
+
+    def __init__(self, config: ICRHConfig | None = None) -> None:
+        self.config = config or ICRHConfig()
+        self._source_ids: list = []
+        self._source_index: dict = {}
+        self._accumulated = np.zeros(0)
+        self._counts = np.zeros(0)
+        self._weights = np.zeros(0)
+        self._chunks_seen = 0
+        self._weight_history: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def source_ids(self) -> tuple:
+        """All sources seen so far, in order of first appearance."""
+        return tuple(self._source_ids)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current source weights, aligned with :attr:`source_ids`."""
+        if self._chunks_seen == 0:
+            raise ValueError("no chunk processed yet")
+        return self._weights
+
+    @property
+    def weight_history(self) -> np.ndarray:
+        """``(T, K)`` weights after each of the ``T`` chunks (Fig. 4a).
+
+        Sources that joined the stream late carry ``NaN`` for the chunks
+        before their arrival.
+        """
+        if not self._weight_history:
+            raise ValueError("no chunk processed yet")
+        k = len(self._source_ids)
+        padded = np.full((len(self._weight_history), k), np.nan)
+        for t, row in enumerate(self._weight_history):
+            padded[t, :row.size] = row
+        return padded
+
+    @property
+    def chunks_seen(self) -> int:
+        return self._chunks_seen
+
+    def _positions_for(self, chunk: MultiSourceDataset) -> np.ndarray:
+        """Accumulator positions of the chunk's sources, registering
+        first-time sources (a new source starts with ``a_k = 0`` and
+        weight 1, exactly Algorithm 2's line-1 initialization)."""
+        positions = np.empty(chunk.n_sources, dtype=np.int64)
+        for i, source_id in enumerate(chunk.source_ids):
+            index = self._source_index.get(source_id)
+            if index is None:
+                index = len(self._source_ids)
+                self._source_ids.append(source_id)
+                self._source_index[source_id] = index
+                self._accumulated = np.append(self._accumulated, 0.0)
+                self._counts = np.append(self._counts, 0.0)
+                self._weights = np.append(self._weights, 1.0)
+            positions[i] = index
+        return positions
+
+    # ------------------------------------------------------------------
+    def _losses_for(self, dataset: MultiSourceDataset) -> list[Loss]:
+        losses: list[Loss] = []
+        for prop in dataset.schema:
+            if prop.kind is PropertyKind.CATEGORICAL:
+                name = self.config.categorical_loss
+            elif prop.kind is PropertyKind.TEXT:
+                name = self.config.text_loss
+            else:
+                name = self.config.continuous_loss
+            losses.append(loss_by_name(name))
+        return losses
+
+    def partial_fit(self, chunk: MultiSourceDataset) -> TruthTable:
+        """Process one chunk: truths from current weights, then update.
+
+        Chunks align sources by *identifier*, so the stream's source set
+        may evolve: a previously unseen source joins with zero
+        accumulated distance and weight 1 (Algorithm 2 line 1), and
+        sources absent from a chunk simply contribute nothing while
+        their history keeps decaying.
+        """
+        positions = self._positions_for(chunk)
+        weights_for_chunk = self._weights[positions]
+
+        losses = self._losses_for(chunk)
+        # Line 3: truths for the current chunk under the learned weights.
+        states = [
+            loss.update_truth(prop, weights_for_chunk)
+            for loss, prop in zip(losses, chunk.properties)
+        ]
+        # Lines 4-5: decay-accumulate distances, then recompute weights.
+        chunk_dev = np.zeros(chunk.n_sources)
+        chunk_cnt = np.zeros(chunk.n_sources)
+        for loss, prop, state in zip(losses, chunk.properties, states):
+            dev = loss.deviations(state, prop)
+            chunk_dev += np.nansum(dev, axis=1)
+            chunk_cnt += (~np.isnan(dev)).sum(axis=1)
+        alpha = self.config.decay
+        self._accumulated *= alpha
+        self._counts *= alpha
+        np.add.at(self._accumulated, positions, chunk_dev)
+        np.add.at(self._counts, positions, chunk_cnt)
+        if self.config.normalize_by_counts:
+            with np.errstate(invalid="ignore", divide="ignore"):
+                normalized = self._accumulated / self._counts
+            per_source = np.where(self._counts > 0, normalized, 0.0)
+        else:
+            per_source = self._accumulated
+        self._weights = self.config.weight_scheme.weights(per_source)
+        # A source with no (surviving) observations carries no evidence:
+        # it keeps the Algorithm-2 line-1 weight of 1 rather than the
+        # best-in-class weight a zero deviation would otherwise imply.
+        unseen = self._counts <= 1e-12
+        if unseen.any():
+            self._weights = np.where(unseen, 1.0, self._weights)
+        self._chunks_seen += 1
+        self._weight_history.append(self._weights.copy())
+        return states_to_truth_table(chunk, states)
+
+
+@dataclass
+class ICRHResult:
+    """Output of a full-stream I-CRH run."""
+
+    result: TruthDiscoveryResult
+    #: ``(T, K)`` source weights after each chunk
+    weight_history: np.ndarray
+    #: number of objects per chunk
+    chunk_sizes: tuple[int, ...]
+
+    @property
+    def truths(self) -> TruthTable:
+        return self.result.truths
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self.result.weights
+
+
+def icrh(dataset: MultiSourceDataset, window: int = 1,
+         config: ICRHConfig | None = None) -> ICRHResult:
+    """Run I-CRH over a timestamped dataset, chunking by time window.
+
+    Returns the stitched truth table over all objects (aligned with
+    ``dataset``), the final weights, and the per-chunk weight history.
+    """
+    started = time.perf_counter()
+    config = config or ICRHConfig()
+    model = IncrementalCRH(config)
+    columns: list[np.ndarray] = []
+    for prop in dataset.schema:
+        if prop.uses_codec:
+            columns.append(
+                np.full(dataset.n_objects, MISSING_CODE, dtype=np.int32)
+            )
+        else:
+            columns.append(np.full(dataset.n_objects, np.nan))
+    chunk_sizes: list[int] = []
+    for chunk in chunk_by_window(dataset, window):
+        chunk_truths = model.partial_fit(chunk.dataset)
+        chunk_sizes.append(chunk.dataset.n_objects)
+        for m in range(len(dataset.schema)):
+            columns[m][chunk.object_indices] = chunk_truths.columns[m]
+    truths = TruthTable(
+        schema=dataset.schema,
+        object_ids=dataset.object_ids,
+        columns=columns,
+        codecs=dataset.codecs(),
+    )
+    result = TruthDiscoveryResult(
+        truths=truths,
+        weights=model.weights,
+        source_ids=dataset.source_ids,
+        method="I-CRH",
+        iterations=model.chunks_seen,
+        converged=True,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+    return ICRHResult(
+        result=result,
+        weight_history=model.weight_history,
+        chunk_sizes=tuple(chunk_sizes),
+    )

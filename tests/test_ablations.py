@@ -1,0 +1,67 @@
+"""Smoke tests for the ablation runners (single-seed: structure plus the
+headline direction of each effect; the benchmarks assert at full seeds)."""
+
+import pytest
+
+from repro.experiments import (
+    AblationResult,
+    run_ablation_finegrained,
+    run_ablation_init,
+    run_ablation_joint,
+    run_ablation_losses,
+    run_ablation_selection,
+    run_ablation_weight_norm,
+)
+
+
+class TestStructure:
+    def test_cli_registers_all_ablations(self):
+        from repro.cli import _EXPERIMENTS
+        ablations = {name for name in _EXPERIMENTS
+                     if name.startswith("ablation")}
+        assert ablations == {
+            "ablation-losses", "ablation-norm", "ablation-init",
+            "ablation-joint", "ablation-selection",
+            "ablation-finegrained",
+        }
+
+    def test_result_row_lookup(self):
+        result = AblationResult(
+            title="t", headers=["variant", "x"], rows=[["a", 1.0]],
+        )
+        assert result.row("a") == ["a", 1.0]
+        with pytest.raises(KeyError):
+            result.row("missing")
+        assert "variant" in result.render()
+
+
+class TestRunners:
+    def test_weight_norm(self):
+        result = run_ablation_weight_norm(seeds=(1,))
+        assert {r[0] for r in result.rows} == {"max", "sum"}
+        assert all(0 <= r[1] <= 1 for r in result.rows)
+
+    def test_init(self):
+        result = run_ablation_init(seeds=(1,))
+        assert {r[0] for r in result.rows} == \
+            {"vote_median", "vote_mean", "random"}
+
+    def test_joint_direction(self):
+        # The effect is small per seed; average over the bench's seeds.
+        result = run_ablation_joint(seeds=(1, 2, 3, 4, 5))
+        assert result.row("joint (CRH)")[1] < \
+            result.row("per-type (CRH x2)")[1]
+
+    def test_selection(self):
+        result = run_ablation_selection(seeds=(1,))
+        assert result.row("exponential (combine all)")[2] < \
+            result.row("Lp-norm (best source)")[2]
+
+    def test_finegrained(self):
+        result = run_ablation_finegrained(seeds=(1, 2))
+        assert len(result.rows) == 2
+
+    def test_losses(self):
+        result = run_ablation_losses(seeds=(1,))
+        assert result.row("squared+zero_one")[2] > \
+            result.row("absolute+zero_one")[2]

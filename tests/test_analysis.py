@@ -1,0 +1,154 @@
+"""Tests for the post-hoc analyses: copy detection and confidence."""
+
+import numpy as np
+import pytest
+
+from repro import crh
+from repro.analysis import (
+    detect_copying,
+    entry_confidence,
+    least_confident_entries,
+    pairwise_agreement,
+)
+from repro.datasets import StockConfig, generate_stock_dataset
+from tests.conftest import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def stock_run():
+    generated = generate_stock_dataset(
+        StockConfig(n_symbols=60, n_days=8, seed=3)
+    )
+    result = crh(generated.dataset)
+    return generated, result
+
+
+class TestPairwiseAgreement:
+    def test_symmetric_with_unit_diagonal(self, stock_run):
+        generated, _ = stock_run
+        matrix = pairwise_agreement(generated.dataset)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        assert (matrix >= 0).all() and (matrix <= 1).all()
+
+    def test_feed_mates_agree_more(self, stock_run):
+        generated, _ = stock_run
+        feeds = generated.extras["feed_of_source"]
+        matrix = pairwise_agreement(generated.dataset)
+        k = len(feeds)
+        same_feed, cross_feed = [], []
+        for a in range(k):
+            for b in range(a + 1, k):
+                (same_feed if feeds[a] == feeds[b]
+                 else cross_feed).append(matrix[a, b])
+        assert np.mean(same_feed) > np.mean(cross_feed)
+
+
+class TestCopyDetection:
+    def test_flags_only_a_minority_of_pairs(self, stock_run):
+        generated, result = stock_run
+        report = detect_copying(generated.dataset, result.truths,
+                                z_threshold=5.0)
+        flagged = [p for p in report.pairs if p.dependence_score >= 5.0]
+        assert 0 < len(flagged) < len(report.pairs) / 4
+
+    def test_flagged_pairs_are_feed_mates(self, stock_run):
+        """The headline: detected copying pairs share an upstream feed."""
+        generated, result = stock_run
+        feeds = generated.extras["feed_of_source"]
+        feed_of = {generated.dataset.source_ids[i]: feeds[i]
+                   for i in range(len(feeds))}
+        report = detect_copying(generated.dataset, result.truths,
+                                z_threshold=5.0)
+        flagged = [p for p in report.pairs if p.dependence_score >= 5.0]
+        assert flagged
+        correct = sum(
+            1 for p in flagged if feed_of[p.source_a] == feed_of[p.source_b]
+        )
+        assert correct / len(flagged) > 0.9
+
+    def test_clusters_are_feed_pure(self, stock_run):
+        generated, result = stock_run
+        feeds = generated.extras["feed_of_source"]
+        feed_of = {generated.dataset.source_ids[i]: feeds[i]
+                   for i in range(len(feeds))}
+        report = detect_copying(generated.dataset, result.truths,
+                                z_threshold=5.0)
+        report_pure = 0
+        assert report.clusters
+        for cluster in report.clusters:
+            feed_ids = {feed_of[s] for s in cluster}
+            if len(feed_ids) == 1:
+                report_pure += 1
+        assert report_pure / len(report.clusters) > 0.7
+
+    def test_no_false_positives_on_independent_sources(self):
+        """Independent noise must not be flagged as copying."""
+        dataset, truth = make_synthetic(n_objects=150, seed=9)
+        result = crh(dataset)
+        report = detect_copying(dataset, result.truths, z_threshold=5.0)
+        assert not report.flagged_pairs()
+        assert not report.clusters
+
+    def test_cluster_lookup(self, stock_run):
+        generated, result = stock_run
+        report = detect_copying(generated.dataset, result.truths,
+                                z_threshold=5.0)
+        some_cluster = report.clusters[0]
+        member = next(iter(some_cluster))
+        assert report.cluster_of(member) == some_cluster
+        assert report.cluster_of("nonexistent-source") is None
+
+
+class TestConfidence:
+    def test_shapes_and_range(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = crh(dataset)
+        confidences = entry_confidence(dataset, result.truths,
+                                       result.weights)
+        assert set(confidences) == {"x", "c"}
+        for vector in confidences.values():
+            valid = vector[~np.isnan(vector)]
+            assert (valid >= 0).all() and (valid <= 1 + 1e-9).all()
+
+    def test_unanimous_entries_score_one(self, tiny_dataset):
+        result = crh(tiny_dataset)
+        confidences = entry_confidence(tiny_dataset, result.truths,
+                                       result.weights)
+        # o2 condition: all three sources say cloudy.
+        i = tiny_dataset.object_index("o2")
+        assert confidences["condition"][i] == pytest.approx(1.0)
+
+    def test_contested_entries_score_lower(self, tiny_dataset):
+        # Uniform weights: with CRH weights the dissenting source may
+        # carry zero weight, making the contested entry look unanimous.
+        result = crh(tiny_dataset)
+        confidences = entry_confidence(tiny_dataset, result.truths)
+        contested = tiny_dataset.object_index("o1")   # 2 sunny vs 1 rain
+        unanimous = tiny_dataset.object_index("o2")
+        assert confidences["condition"][contested] < \
+            confidences["condition"][unanimous]
+
+    def test_default_weights_uniform(self, tiny_dataset):
+        result = crh(tiny_dataset)
+        confidences = entry_confidence(tiny_dataset, result.truths)
+        i = tiny_dataset.object_index("o1")
+        assert confidences["condition"][i] == pytest.approx(2 / 3)
+
+    def test_least_confident_ordering(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = crh(dataset)
+        queue = least_confident_entries(dataset, result.truths,
+                                        result.weights, limit=5)
+        assert len(queue) == 5
+        scores = [e.confidence for e in queue]
+        assert scores == sorted(scores)
+        assert all(e.n_claims >= 1 for e in queue)
+
+    def test_misaligned_inputs_rejected(self, tiny_dataset, tiny_truth):
+        shuffled = tiny_truth.select_objects(np.array([1, 0, 2, 3, 4]))
+        with pytest.raises(ValueError, match="misaligned"):
+            entry_confidence(tiny_dataset, shuffled)
+        with pytest.raises(ValueError, match="weights shape"):
+            entry_confidence(tiny_dataset, tiny_truth,
+                             weights=np.ones(2))

@@ -1,0 +1,223 @@
+"""Tests for the ten baseline conflict-resolution methods.
+
+Shared behavioural contract (every resolver) plus method-specific tests
+for the mechanics that differentiate them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PAPER_METHOD_ORDER,
+    available_resolvers,
+    resolver_by_name,
+)
+from repro.baselines.gtm import GTMParams, GTMResolver
+from repro.core.result import check_result_alignment
+from repro.data.schema import PropertyKind
+from repro.metrics import error_rate, mnad, rank_agreement
+from tests.conftest import make_synthetic
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        assert set(PAPER_METHOD_ORDER) <= set(available_resolvers())
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError, match="unknown resolver"):
+            resolver_by_name("MagicOracle")
+
+
+@pytest.mark.parametrize("method", PAPER_METHOD_ORDER)
+class TestResolverContract:
+    """Behaviour every method must satisfy."""
+
+    def test_result_aligned(self, method, synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = resolver_by_name(method).fit(dataset)
+        check_result_alignment(result, dataset)
+        assert result.method == method
+        assert np.isfinite(result.weights).all()
+
+    def test_deterministic(self, method, synthetic_workload):
+        dataset, _ = synthetic_workload
+        first = resolver_by_name(method).fit(dataset)
+        second = resolver_by_name(method).fit(dataset)
+        np.testing.assert_array_equal(first.weights, second.weights)
+
+    def test_better_than_chance(self, method, synthetic_workload):
+        dataset, truth = synthetic_workload
+        resolver = resolver_by_name(method)
+        result = resolver.fit(dataset)
+        if resolver.handles_kind(PropertyKind.CATEGORICAL):
+            # Chance on 4 categories is 0.75 error.
+            assert error_rate(result.truths, truth) < 0.3
+        if resolver.handles_kind(PropertyKind.CONTINUOUS):
+            assert mnad(result.truths, truth) < 0.5
+
+    def test_fit_timed(self, method, synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = resolver_by_name(method).fit_timed(dataset)
+        assert result.elapsed_seconds > 0
+
+
+class TestNaiveResolvers:
+    def test_mean_matches_numpy(self, tiny_dataset):
+        result = resolver_by_name("Mean").fit(tiny_dataset)
+        temps = tiny_dataset.property_observations("temp").values
+        np.testing.assert_allclose(result.truths.column("temp"),
+                                   temps.mean(axis=0))
+
+    def test_median_matches_definition(self, tiny_dataset):
+        result = resolver_by_name("Median").fit(tiny_dataset)
+        # With 3 claims per entry the weighted median is the middle value.
+        temps = tiny_dataset.property_observations("temp").values
+        np.testing.assert_allclose(result.truths.column("temp"),
+                                   np.median(temps, axis=0))
+
+    def test_voting_majority(self, tiny_dataset):
+        result = resolver_by_name("Voting").fit(tiny_dataset)
+        assert result.truths.value("o1", "condition") == "sunny"
+
+    def test_single_type_methods_leave_other_kind_missing(self,
+                                                          tiny_dataset):
+        mean_result = resolver_by_name("Mean").fit(tiny_dataset)
+        assert mean_result.truths.value("o1", "condition") is None
+        vote_result = resolver_by_name("Voting").fit(tiny_dataset)
+        assert vote_result.truths.value("o1", "temp") is None
+
+    def test_uniform_weights(self, tiny_dataset):
+        for method in ("Mean", "Median", "Voting"):
+            result = resolver_by_name(method).fit(tiny_dataset)
+            np.testing.assert_array_equal(result.weights, np.ones(3))
+
+
+class TestGTM:
+    def test_estimates_precision_ordering(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = GTMResolver().fit(dataset)
+        # Sources ordered best-to-worst: precision must decrease.
+        assert (np.diff(result.weights) < 0).all()
+
+    def test_requires_continuous(self, tiny_dataset):
+        categorical_only = tiny_dataset.restrict_kind(
+            PropertyKind.CATEGORICAL
+        )
+        with pytest.raises(ValueError, match="continuous"):
+            GTMResolver().fit(categorical_only)
+
+    def test_prior_regularizes_variance(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        tight = GTMResolver(GTMParams(alpha=1000.0, beta=1000.0)).fit(
+            dataset
+        )
+        loose = GTMResolver(GTMParams(alpha=1.0, beta=1.0)).fit(dataset)
+        # A dominating prior pulls all variances toward beta/alpha = 1.
+        spread_tight = tight.weights.max() / tight.weights.min()
+        spread_loose = loose.weights.max() / loose.weights.min()
+        assert spread_tight < spread_loose
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GTMParams(alpha=0.0)
+
+    def test_shrinks_toward_claims(self, synthetic_workload):
+        dataset, truth = synthetic_workload
+        result = GTMResolver().fit(dataset)
+        assert mnad(result.truths, truth) < 0.2
+
+
+class TestInvestmentFamily:
+    def test_investment_trust_ordering(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = resolver_by_name("Investment").fit(dataset)
+        assert rank_agreement(-np.arange(5.0), result.weights) > 0.7
+
+    def test_pooled_beliefs_bounded_by_entry(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = resolver_by_name("PooledInvestment").fit(dataset)
+        assert result.iterations >= 1
+
+    def test_trust_normalized(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        for method in ("Investment", "PooledInvestment"):
+            result = resolver_by_name(method).fit(dataset)
+            assert result.weights.mean() == pytest.approx(1.0)
+
+
+class TestEstimatesFamily:
+    def test_error_factors_orders_sources(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        for method in ("2-Estimates", "3-Estimates"):
+            resolver = resolver_by_name(method)
+            assert resolver.scores_are_unreliability
+            result = resolver.fit(dataset)
+            # Higher error factor for worse sources.
+            assert rank_agreement(np.arange(5.0), result.weights) > 0.7
+
+    def test_error_factors_in_unit_interval(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        for method in ("2-Estimates", "3-Estimates"):
+            result = resolver_by_name(method).fit(dataset)
+            assert (result.weights >= 0).all()
+            assert (result.weights <= 1).all()
+
+
+class TestTruthFinderAccuSim:
+    def test_trust_in_unit_interval(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        for method in ("TruthFinder", "AccuSim"):
+            result = resolver_by_name(method).fit(dataset)
+            assert (result.weights >= 0).all()
+            assert (result.weights <= 1.0 + 1e-9).all()
+
+    def test_similarity_favors_dense_cluster(self):
+        """With similarity on, nearby continuous claims reinforce each
+        other, so the winner comes from the dense cluster rather than a
+        lone outlier — the implication mechanism of TruthFinder."""
+        from repro.baselines.truthfinder import TruthFinderResolver
+        from repro.data import DatasetBuilder, DatasetSchema, continuous
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        for i in range(30):
+            builder.add(f"o{i}", "s1", "x", 10.0 + 0.01 * i)
+            builder.add(f"o{i}", "s2", "x", 10.1 + 0.01 * i)
+            builder.add(f"o{i}", "s3", "x", 50.0 + 0.01 * i)
+        dataset = builder.build()
+        result = TruthFinderResolver(rho=0.8).fit(dataset)
+        values = result.truths.column("x")
+        # Every resolved value sits in the dense 10-ish cluster.
+        assert (values < 20.0).all()
+
+    def test_parameter_validation(self):
+        from repro.baselines.accusim import AccuSimResolver
+        from repro.baselines.truthfinder import TruthFinderResolver
+        with pytest.raises(ValueError):
+            TruthFinderResolver(gamma=0.0)
+        with pytest.raises(ValueError):
+            TruthFinderResolver(rho=2.0)
+        with pytest.raises(ValueError):
+            AccuSimResolver(n_false_values=0)
+        with pytest.raises(ValueError):
+            AccuSimResolver(initial_accuracy=1.0)
+
+    def test_accusim_probabilities_normalized(self, synthetic_workload):
+        """Per-entry fact probabilities from the softmax sum to 1."""
+        from repro.baselines.accusim import _entry_softmax
+        from repro.baselines.claims import build_claim_graph
+        dataset, _ = synthetic_workload
+        graph = build_claim_graph(dataset)
+        rng = np.random.default_rng(0)
+        probabilities = _entry_softmax(graph, rng.normal(0, 2,
+                                                         graph.n_facts))
+        sums = graph.sum_facts_by_entry(probabilities)
+        np.testing.assert_allclose(sums, 1.0)
+
+
+class TestCRHAdapter:
+    def test_matches_direct_solver(self, synthetic_workload):
+        from repro import crh
+        dataset, _ = synthetic_workload
+        adapter = resolver_by_name("CRH").fit(dataset)
+        direct = crh(dataset)
+        np.testing.assert_array_equal(adapter.weights, direct.weights)

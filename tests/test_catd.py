@@ -1,0 +1,94 @@
+"""Tests for the CATD extension (confidence-aware weights, [23])."""
+
+import numpy as np
+import pytest
+
+from repro import crh
+from repro.baselines import resolver_by_name
+from repro.baselines.catd import CATDResolver
+from repro.data import DatasetBuilder, DatasetSchema, TruthTable, continuous
+from repro.metrics import error_rate, mnad
+from tests.conftest import make_synthetic
+
+
+class TestBasics:
+    def test_registered(self):
+        assert isinstance(resolver_by_name("CATD"), CATDResolver)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            CATDResolver(alpha=0.0)
+
+    def test_recovers_synthetic_truth(self, synthetic_workload):
+        dataset, truth = synthetic_workload
+        result = CATDResolver().fit(dataset)
+        assert result.method == "CATD"
+        assert error_rate(result.truths, truth) < 0.1
+        assert mnad(result.truths, truth) < 0.2
+
+    def test_weight_ordering(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = CATDResolver().fit(dataset)
+        # Sources are ordered best-to-worst in the fixture and fully
+        # observed, so the confidence correction preserves the ordering.
+        assert (np.diff(result.weights) <= 1e-9).all()
+
+    def test_deterministic(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        a = CATDResolver().fit(dataset)
+        b = CATDResolver().fit(dataset)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+
+class TestLongTailBehaviour:
+    def _long_tail_dataset(self, seed=7, lucky_claims=4):
+        """A dense good source, a dense mediocre source, and a sparse
+        source whose few claims happen to be perfect — the long-tail
+        trap: a point estimate calls the sparse source the most reliable.
+        """
+        rng = np.random.default_rng(seed)
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        n = 200
+        true_x = rng.normal(0, 10, n)
+        for i in range(n):
+            builder.add(f"o{i}", "dense-good", "x",
+                        float(true_x[i] + rng.normal(0, 1.0)))
+            builder.add(f"o{i}", "dense-mid", "x",
+                        float(true_x[i] + rng.normal(0, 3.0)))
+            builder.add(f"o{i}", "dense-mid2", "x",
+                        float(true_x[i] + rng.normal(0, 3.5)))
+        for i in range(lucky_claims):
+            builder.add(f"o{i}", "sparse-lucky", "x", float(true_x[i]))
+        dataset = builder.build()
+        truth = TruthTable.from_labels(schema, dataset.object_ids,
+                                       {"x": true_x.tolist()})
+        return dataset, truth
+
+    def test_sparse_lucky_source_is_shrunk(self):
+        """The chi-squared bound deflates a 4-claim source even when its
+        claims are exactly right — the method's raison d'etre."""
+        dataset, _ = self._long_tail_dataset()
+        result = CATDResolver().fit(dataset)
+        weights = dict(zip(result.source_ids, result.weights))
+        assert weights["dense-good"] > weights["sparse-lucky"]
+
+    def test_quantile_grows_with_count(self):
+        """More observations -> larger chi-squared quantile -> less
+        shrinkage at equal average error."""
+        resolver = CATDResolver()
+        few = resolver._weights(np.array([1.0, 10.0]),
+                                np.array([4.0, 40.0]))
+        # Same average error (0.25/claim), but the 40-claim source gets
+        # the (relatively) larger weight.
+        assert few[1] > few[0]
+
+
+class TestAgainstCRH:
+    def test_comparable_on_dense_data(self):
+        dataset, truth = make_synthetic(n_objects=120, seed=3)
+        catd = CATDResolver().fit(dataset)
+        baseline = crh(dataset)
+        catd_err = error_rate(catd.truths, truth)
+        crh_err = error_rate(baseline.truths, truth)
+        assert catd_err <= crh_err + 0.05

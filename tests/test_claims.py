@@ -1,0 +1,148 @@
+"""Unit tests for the claim-graph substrate of the fact-based baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.claims import (
+    build_claim_graph,
+    winners_to_truth_table,
+)
+from repro.data import MISSING_CODE
+
+
+@pytest.fixture()
+def graph(tiny_dataset):
+    return build_claim_graph(tiny_dataset)
+
+
+class TestGraphStructure:
+    def test_claim_count(self, tiny_dataset, graph):
+        assert graph.n_claims == tiny_dataset.n_observations()
+
+    def test_entry_count(self, tiny_dataset, graph):
+        assert graph.n_entries == tiny_dataset.n_entries()
+
+    def test_facts_at_most_claims(self, graph):
+        assert graph.n_facts <= graph.n_claims
+        assert graph.n_facts >= graph.n_entries
+
+    def test_facts_sorted_by_entry(self, graph):
+        assert (np.diff(graph.fact_entry) >= 0).all()
+
+    def test_entry_fact_boundaries(self, graph):
+        starts = graph.entry_fact_start
+        assert starts[0] == 0
+        assert starts[-1] == graph.n_facts
+        for e in range(graph.n_entries):
+            segment = graph.fact_entry[starts[e]:starts[e + 1]]
+            assert (segment == e).all()
+
+    def test_claims_reference_valid_facts(self, graph):
+        assert graph.claim_fact.min() >= 0
+        assert graph.claim_fact.max() < graph.n_facts
+
+    def test_fact_values_distinct_within_entry(self, graph):
+        starts = graph.entry_fact_start
+        for e in range(graph.n_entries):
+            values = graph.fact_value[starts[e]:starts[e + 1]]
+            assert len(np.unique(values)) == len(values)
+
+    def test_kind_flags(self, tiny_dataset, graph):
+        cont = graph.fact_is_continuous
+        # tiny_dataset: properties 0, 1 continuous, 2 categorical.
+        for f in range(graph.n_facts):
+            prop = graph.entry_property[graph.fact_entry[f]]
+            assert cont[f] == (prop in (0, 1))
+
+
+class TestReductions:
+    def test_claims_per_source(self, tiny_dataset, graph):
+        counts = graph.claims_per_source()
+        assert counts.sum() == graph.n_claims
+        assert counts.tolist() == [15, 15, 15]
+
+    def test_claimants_per_entry(self, graph):
+        per_entry = graph.claimants_per_entry()
+        assert per_entry.sum() == graph.n_claims
+        assert (per_entry == 3).all()    # fully observed fixture
+
+    def test_sum_claims_by_fact(self, graph):
+        ones = np.ones(graph.n_claims)
+        by_fact = graph.sum_claims_by_fact(ones)
+        np.testing.assert_array_equal(by_fact, graph.claimants_per_fact())
+
+    def test_argmax_fact_per_entry(self, graph):
+        scores = graph.claimants_per_fact().astype(float)
+        winners = graph.argmax_fact_per_entry(scores)
+        assert winners.shape == (graph.n_entries,)
+        starts = graph.entry_fact_start
+        for e, winner in enumerate(winners):
+            segment = slice(starts[e], starts[e + 1])
+            assert scores[winner] == scores[segment].max()
+            assert starts[e] <= winner < starts[e + 1]
+
+    def test_similarity_sums_zero_for_categorical(self, graph):
+        scores = np.ones(graph.n_facts)
+        sums = graph.entry_similarity_sums(scores)
+        categorical_facts = ~graph.fact_is_continuous
+        np.testing.assert_array_equal(sums[categorical_facts], 0.0)
+
+    def test_similarity_sums_positive_for_conflicting_continuous(self,
+                                                                 graph):
+        scores = np.ones(graph.n_facts)
+        sums = graph.entry_similarity_sums(scores)
+        starts = graph.entry_fact_start
+        sizes = np.diff(starts)
+        multi = (sizes >= 2) & graph.fact_is_continuous[starts[:-1]]
+        assert multi.any()
+        for e in np.flatnonzero(multi):
+            assert (sums[starts[e]:starts[e + 1]] > 0).all()
+
+    def test_similarity_favors_nearby_values(self, graph):
+        """A fact close to another fact collects more similarity mass."""
+        scores = np.ones(graph.n_facts)
+        sums = graph.entry_similarity_sums(scores)
+        starts = graph.entry_fact_start
+        # Entry for o1/temp has values 70, 71, 55: 70 and 71 support each
+        # other more than 55 supports either.
+        for e in range(graph.n_entries):
+            values = graph.fact_value[starts[e]:starts[e + 1]]
+            if set(values) == {70.0, 71.0, 55.0}:
+                segment = sums[starts[e]:starts[e + 1]]
+                outlier = segment[values.tolist().index(55.0)]
+                close = segment[values.tolist().index(70.0)]
+                assert close > outlier
+                return
+        pytest.fail("expected entry not found")
+
+
+class TestWinnersToTruth:
+    def test_roundtrip_with_majority(self, tiny_dataset, graph):
+        scores = graph.claimants_per_fact().astype(float)
+        winners = graph.argmax_fact_per_entry(scores)
+        truths = winners_to_truth_table(graph, tiny_dataset, winners)
+        # Majority on o1/condition is "sunny" (2 vs 1).
+        assert truths.value("o1", "condition") == "sunny"
+        assert truths.value("o2", "temp") in (64.0, 64.5, 65.0)
+
+    def test_unobserved_entries_stay_missing(self, mixed_schema):
+        from repro.data import DatasetBuilder
+        builder = DatasetBuilder(mixed_schema)
+        builder.add("o1", "a", "temp", 1.0)
+        builder.add("o2", "a", "condition", "rain")
+        dataset = builder.build()
+        g = build_claim_graph(dataset)
+        winners = g.argmax_fact_per_entry(np.ones(g.n_facts))
+        truths = winners_to_truth_table(g, dataset, winners)
+        assert truths.value("o2", "temp") is None
+        assert truths.value("o1", "condition") is None
+        assert truths.value("o1", "temp") == 1.0
+
+
+class TestMissingData:
+    def test_graph_with_missing(self, small_weather):
+        dataset = small_weather.dataset
+        g = build_claim_graph(dataset)
+        assert g.n_claims == dataset.n_observations()
+        assert g.n_entries == dataset.n_entries()
+        assert (g.claimants_per_entry() >= 1).all()

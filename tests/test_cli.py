@@ -1,0 +1,59 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import _EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.seed == 1
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["fig8", "--seed", "9"])
+        assert args.seed == 9
+
+
+class TestDispatch:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in _EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["tableX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Weather" in out
+
+    def test_runs_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "decay" in out
+
+    def test_output_file(self, capsys, tmp_path):
+        out = tmp_path / "results.md"
+        assert main(["table1", "--output", str(out)]) == 0
+        text = out.read_text()
+        assert "## table1" in text
+        assert "Weather" in text
+
+    def test_scale_flag_accepted(self, capsys):
+        assert main(["table1", "--scale", "0.5"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_experiment_registry_covers_all_artifacts(self):
+        expected = {f"table{i}" for i in (1, 2, 3, 4, 5, 6)} | \
+            {f"fig{i}" for i in range(1, 9)} | {
+                "ablation-losses", "ablation-norm", "ablation-init",
+                "ablation-joint", "ablation-selection",
+                "ablation-finegrained",
+            }
+        assert set(_EXPERIMENTS) == expected

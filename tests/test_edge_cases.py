@@ -1,0 +1,228 @@
+"""Robustness tests: degenerate and adversarial inputs.
+
+Truth discovery in production meets ugly data — single sources, single
+objects, unanimous liars, extreme magnitudes, constant properties.  The
+solver must stay finite and well-defined on all of them (correctness of
+the *answer* is unknowable in some of these regimes; these tests pin the
+behaviour down and assert no NaNs/crashes/invariant violations).
+"""
+
+import numpy as np
+import pytest
+
+from repro import crh
+from repro.baselines import PAPER_METHOD_ORDER, resolver_by_name
+from repro.data import (
+    DatasetBuilder,
+    DatasetSchema,
+    TruthTable,
+    categorical,
+    continuous,
+)
+from repro.streaming import ICRHConfig, icrh
+
+
+def _finite_result(result):
+    assert np.isfinite(result.weights).all()
+    for column in result.truths.columns:
+        if np.issubdtype(column.dtype, np.floating):
+            observed = ~np.isnan(column)
+            assert np.isfinite(column[observed]).all()
+
+
+class TestDegenerateShapes:
+    def test_single_source(self):
+        schema = DatasetSchema.of(continuous("x"), categorical("c"))
+        builder = DatasetBuilder(schema)
+        for i in range(10):
+            builder.add(f"o{i}", "only", "x", float(i))
+            builder.add(f"o{i}", "only", "c", "a" if i % 2 else "b")
+        result = crh(builder.build())
+        _finite_result(result)
+        # With one source, its claims are the truths.
+        np.testing.assert_array_equal(
+            result.truths.column("x"), np.arange(10.0)
+        )
+
+    def test_single_object(self):
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        for k in range(5):
+            builder.add("lonely", f"s{k}", "x", float(10 + k))
+        result = crh(builder.build())
+        _finite_result(result)
+        assert result.truths.value("lonely", "x") in [10, 11, 12, 13, 14]
+
+    def test_two_sources_disagreeing_everywhere(self):
+        schema = DatasetSchema.of(categorical("c", ["u", "v"]))
+        builder = DatasetBuilder(schema)
+        for i in range(20):
+            builder.add(f"o{i}", "a", "c", "u")
+            builder.add(f"o{i}", "b", "c", "v")
+        result = crh(builder.build())
+        _finite_result(result)
+        # Symmetric deadlock: some consistent decision must come out.
+        values = {result.truths.value(f"o{i}", "c") for i in range(20)}
+        assert values <= {"u", "v"}
+
+    def test_unanimous_wrong_sources(self):
+        """If every source tells the same lie, the lie is the output —
+        and the evaluation reflects it (garbage in, confident garbage
+        out is the documented behaviour, not a crash)."""
+        schema = DatasetSchema.of(categorical("c", ["lie", "truth"]))
+        builder = DatasetBuilder(schema)
+        for i in range(10):
+            for k in range(4):
+                builder.add(f"o{i}", f"s{k}", "c", "lie")
+        dataset = builder.build()
+        result = crh(dataset)
+        _finite_result(result)
+        truth = TruthTable.from_labels(
+            schema, dataset.object_ids, {"c": ["truth"] * 10},
+            codecs=dataset.codecs(),
+        )
+        from repro.metrics import error_rate
+        assert error_rate(result.truths, truth) == 1.0
+
+
+class TestExtremeValues:
+    def test_huge_magnitudes(self):
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        rng = np.random.default_rng(0)
+        for i in range(30):
+            base = 1e12 * (i + 1)
+            for k in range(4):
+                builder.add(f"o{i}", f"s{k}", "x",
+                            base * float(1 + rng.normal(0, 1e-3)))
+        result = crh(builder.build())
+        _finite_result(result)
+
+    def test_tiny_magnitudes(self):
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        rng = np.random.default_rng(1)
+        for i in range(30):
+            for k in range(4):
+                builder.add(f"o{i}", f"s{k}", "x",
+                            1e-12 * float(i + 1 + rng.normal(0, 0.01)))
+        result = crh(builder.build())
+        _finite_result(result)
+
+    def test_constant_property(self):
+        """A property every source agrees on completely (std 0 per
+        entry) must not divide by zero or distort the weights."""
+        schema = DatasetSchema.of(continuous("constant"), continuous("x"))
+        builder = DatasetBuilder(schema)
+        rng = np.random.default_rng(2)
+        sigmas = [0.5, 1.0, 5.0]
+        for i in range(40):
+            for k, sigma in enumerate(sigmas):
+                builder.add(f"o{i}", f"s{k}", "constant", 42.0)
+                builder.add(f"o{i}", f"s{k}", "x",
+                            float(i + rng.normal(0, sigma)))
+        result = crh(builder.build())
+        _finite_result(result)
+        np.testing.assert_array_equal(result.truths.column("constant"),
+                                      42.0)
+        # Weight ordering still driven by the informative property.
+        assert result.weights[0] >= result.weights[2]
+
+    def test_negative_values(self):
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        rng = np.random.default_rng(3)
+        for i in range(30):
+            for k in range(4):
+                builder.add(f"o{i}", f"s{k}", "x",
+                            float(-100 + i + rng.normal(0, 0.5)))
+        result = crh(builder.build())
+        _finite_result(result)
+
+
+class TestHighCardinality:
+    def test_many_categories(self):
+        """A categorical property with hundreds of labels (like the
+        stock facts) stays efficient and correct."""
+        schema = DatasetSchema.of(categorical("c"))
+        builder = DatasetBuilder(schema)
+        rng = np.random.default_rng(4)
+        for i in range(100):
+            truth_label = f"label-{i}"
+            for k in range(5):
+                label = truth_label if rng.random() > 0.2 \
+                    else f"label-{rng.integers(0, 100)}"
+                builder.add(f"o{i}", f"s{k}", "c", label)
+        result = crh(builder.build())
+        _finite_result(result)
+
+    def test_every_claim_distinct(self):
+        """Continuous entries where no two sources ever agree exactly —
+        the regime that reduces fact-based reasoning to noise but that
+        CRH's distance losses handle natively."""
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        rng = np.random.default_rng(5)
+        for i in range(50):
+            for k in range(6):
+                builder.add(f"o{i}", f"s{k}", "x",
+                            float(i + rng.normal(0, 1) + k * 1e-9))
+        result = crh(builder.build())
+        _finite_result(result)
+
+
+class TestBaselineRobustness:
+    @pytest.mark.parametrize("method", PAPER_METHOD_ORDER)
+    def test_all_methods_survive_skewed_coverage(self, method):
+        """Wildly uneven per-source coverage must not crash any method."""
+        schema = DatasetSchema.of(continuous("x"), categorical("c"))
+        builder = DatasetBuilder(schema)
+        rng = np.random.default_rng(6)
+        coverage = [1.0, 0.8, 0.3, 0.05]
+        labels = ["p", "q", "r"]
+        for i in range(60):
+            for k, keep in enumerate(coverage):
+                if rng.random() > keep:
+                    continue
+                builder.add(f"o{i}", f"s{k}", "x",
+                            float(i + rng.normal(0, 1 + k)))
+                builder.add(f"o{i}", f"s{k}", "c",
+                            labels[int(rng.integers(0, 3))])
+        dataset = builder.build()
+        result = resolver_by_name(method).fit(dataset)
+        assert np.isfinite(result.weights).all()
+
+
+class TestStreamingEdgeCases:
+    def test_single_chunk_stream(self):
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        for i in range(10):
+            builder.add(f"o{i}", "a", "x", float(i), timestamp=0)
+            builder.add(f"o{i}", "b", "x", float(i) + 0.5, timestamp=0)
+        result = icrh(builder.build(), window=1)
+        assert result.weight_history.shape[0] == 1
+        assert np.isfinite(result.weights).all()
+
+    def test_window_larger_than_stream(self):
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        for day in range(3):
+            for i in range(4):
+                builder.add(f"o{day}-{i}", "a", "x", float(i),
+                            timestamp=day)
+                builder.add(f"o{day}-{i}", "b", "x", float(i) + 1,
+                            timestamp=day)
+        result = icrh(builder.build(), window=100)
+        assert result.weight_history.shape[0] == 1
+
+    def test_decay_one_never_forgets(self):
+        """alpha = 1 accumulates forever; weights remain finite and the
+        run completes on a long stream."""
+        from repro.datasets import WeatherConfig, generate_weather_dataset
+        generated = generate_weather_dataset(
+            WeatherConfig(n_cities=4, n_days=24, seed=8)
+        )
+        result = icrh(generated.dataset, window=1,
+                      config=ICRHConfig(decay=1.0))
+        assert np.isfinite(result.weights).all()

@@ -1,0 +1,88 @@
+"""Unit tests for the categorical codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.encoding import MISSING_CODE, CategoricalCodec
+
+
+class TestCategoricalCodec:
+    def test_first_seen_order(self):
+        codec = CategoricalCodec()
+        assert codec.encode("b") == 0
+        assert codec.encode("a") == 1
+        assert codec.encode("b") == 0
+        assert codec.labels == ("b", "a")
+
+    def test_decode_roundtrip(self):
+        codec = CategoricalCodec(["x", "y", "z"])
+        for label in ("x", "y", "z"):
+            assert codec.decode(codec.encode(label)) == label
+
+    def test_missing_values(self):
+        codec = CategoricalCodec()
+        assert codec.encode(None) == MISSING_CODE
+        assert codec.encode(float("nan")) == MISSING_CODE
+        assert codec.decode(MISSING_CODE) is None
+
+    def test_frozen_domain_rejects_unknown(self):
+        codec = CategoricalCodec.from_domain(["a", "b"])
+        assert codec.frozen
+        assert codec.encode("a") == 0
+        with pytest.raises(KeyError, match="outside closed domain"):
+            codec.encode("c")
+
+    def test_unfrozen_learns(self):
+        codec = CategoricalCodec(["a"])
+        assert not codec.frozen
+        assert codec.encode("new") == 1
+        assert len(codec) == 2
+
+    def test_duplicate_initial_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CategoricalCodec(["a", "a"])
+
+    def test_encode_many(self):
+        codec = CategoricalCodec()
+        codes = codec.encode_many(["a", "b", "a", None])
+        assert codes.dtype == np.int32
+        assert codes.tolist() == [0, 1, 0, MISSING_CODE]
+
+    def test_decode_many(self):
+        codec = CategoricalCodec(["a", "b"])
+        assert codec.decode_many(np.array([1, 0, MISSING_CODE])) == \
+            ["b", "a", None]
+
+    def test_decode_out_of_range(self):
+        codec = CategoricalCodec(["a"])
+        with pytest.raises(IndexError):
+            codec.decode(5)
+        with pytest.raises(IndexError):
+            codec.decode(-2)
+
+    def test_contains(self):
+        codec = CategoricalCodec(["a"])
+        assert "a" in codec
+        assert "b" not in codec
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=50))
+def test_roundtrip_property(labels):
+    """encode -> decode is the identity for any label sequence."""
+    codec = CategoricalCodec()
+    codes = codec.encode_many(labels)
+    assert codec.decode_many(codes) == labels
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                max_size=60))
+def test_codes_are_dense(values):
+    """Assigned codes are exactly 0..n_distinct-1."""
+    codec = CategoricalCodec()
+    for value in values:
+        codec.encode(value)
+    assert set(range(len(codec))) == {
+        codec.encode(v) for v in values
+    }

@@ -1,0 +1,168 @@
+"""Tests for the experiment runners and renderers.
+
+These run the actual table/figure pipelines at reduced scale and check
+both structure and the paper's qualitative claims about each artifact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    render_ascii_plot,
+    render_series,
+    render_table,
+    run_fig1,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig8,
+    run_method_table,
+    run_reliable_sources_sweep,
+    run_table1,
+    run_table3,
+    run_table5,
+    run_table6,
+)
+from repro.datasets import WeatherConfig, generate_weather_dataset
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        text = render_table(["A", "Bee"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert "A" in lines[0] and "Bee" in lines[0]
+        assert "NA" in lines[-1]
+        assert "2.5000" in text
+
+    def test_render_table_large_numbers(self):
+        text = render_table(["N"], [[1_234_567]])
+        assert "1,234,567" in text
+
+    def test_render_series(self):
+        text = render_series("x", [1, 2], {"s": [0.1, 0.2]})
+        assert "0.1000" in text and "0.2000" in text
+
+    def test_render_ascii_plot(self):
+        text = render_ascii_plot([1.0, 2.0, None], label="demo")
+        assert "demo" in text
+        assert "NA" in text
+        assert "#" in text
+
+
+class TestTableRunners:
+    def test_table1_counts(self):
+        result = run_table1(seed=7)
+        names = [row[0] for row in result.rows]
+        assert names == ["Weather", "Stock", "Flight"]
+        weather_row = result.rows[0]
+        assert weather_row[2] == 1_920
+        assert weather_row[3] == 1_740
+        assert "Table 1" in result.render()
+
+    def test_table3_counts(self):
+        result = run_table3(adult_objects=200, bank_objects=200, seed=7)
+        adult_row = result.rows[0]
+        assert adult_row[1] == 200 * 14 * 8       # observations
+        assert adult_row[2] == 200 * 14           # entries
+        assert adult_row[3] == 200 * 14           # fully labeled
+
+    def test_method_table_structure(self):
+        from repro.experiments.simulated import simulated_workloads
+        table = run_method_table(
+            "mini", simulated_workloads(300, 300),
+            methods=("CRH", "Voting", "Mean"), seeds=(1,),
+        )
+        assert table.dataset_names == ("Adult", "Bank")
+        crh_score = table.score("Adult", "CRH")
+        assert crh_score.error_rate is not None
+        assert crh_score.mnad is not None
+        vote_score = table.score("Adult", "Voting")
+        assert vote_score.mnad is None          # categorical-only: NA
+        mean_score = table.score("Adult", "Mean")
+        assert mean_score.error_rate is None    # continuous-only: NA
+        rendered = table.render()
+        assert "Adult ErrRate" in rendered and "NA" in rendered
+
+    def test_table5_structure_and_claims(self):
+        result = run_table5(scale=0.3, seed=1)
+        assert len(result.rows) == 6
+        # I-CRH accuracy within striking distance of CRH on every dataset.
+        for dataset in ("Weather", "Stock", "Flight"):
+            crh_err = result.value(dataset, "CRH", "error_rate")
+            icrh_err = result.value(dataset, "I-CRH", "error_rate")
+            assert icrh_err <= crh_err + 0.1
+
+    def test_table6_linearity(self):
+        result = run_table6(
+            observation_counts=(10_000, 50_000, 200_000),
+            iterations=3, seed=3,
+        )
+        times = [p.simulated_seconds for p in result.points]
+        assert times == sorted(times)
+        assert result.pearson > 0.9
+        assert "Pearson" in result.render()
+
+
+class TestFigureRunners:
+    def test_fig1_recovers_reliability(self):
+        result = run_fig1(seed=1)
+        crh_comparison = result.comparison("CRH")
+        assert crh_comparison.pearson > 0.7
+        assert crh_comparison.spearman > 0.7
+        assert "ground truth" in result.render()
+
+    def test_fig23_sweep_claims(self):
+        sweep = run_reliable_sources_sweep(
+            "Adult", n_objects=400,
+            methods=("CRH", "Voting", "Mean"), seed=5,
+        )
+        assert sweep.n_reliable == tuple(range(9))
+        # With >= 1 reliable source CRH recovers essentially everything.
+        assert max(sweep.error_rates["CRH"][1:]) < 0.02
+        # Voting needs several reliable sources to reach that level.
+        assert sweep.error_rates["Voting"][1] > 0.1
+        assert "Error Rate" in sweep.render()
+
+    def test_fig4_structure(self):
+        result = run_fig4(seed=1)
+        assert result.weight_history.shape[1] == 9
+        assert set(result.comparison) == {"I-CRH t=1", "I-CRH t=6", "CRH"}
+        # Stable I-CRH weights closer to CRH than the first-chunk weights.
+        stable_gap = np.abs(
+            result.comparison["I-CRH t=6"] - result.comparison["CRH"]
+        ).mean()
+        assert stable_gap < 0.35
+        assert "Fig. 4a" in result.render()
+
+    def test_fig5_small_window_penalty(self):
+        sweep = run_fig5(windows=(1, 4, 8), seed=2)
+        assert sweep.parameter == "window"
+        # Window 1 (with history discounted) is the noisiest estimate.
+        assert sweep.error_rates[0] >= min(sweep.error_rates) - 1e-9
+
+    def test_fig6_insensitive_to_decay(self):
+        sweep = run_fig6(decays=(0.0, 0.5, 1.0), seed=1)
+        spread = max(sweep.error_rates) - min(sweep.error_rates)
+        assert spread < 0.08
+
+    def test_fig8_sweet_spot(self):
+        result = run_fig8(
+            reducer_counts=(2, 10, 25),
+            n_observations=2_000_000, iterations=3, seed=3,
+        )
+        times = {p.n_reducers: p.simulated_seconds for p in result.points}
+        assert times[10] < times[2]
+        assert times[10] < times[25]
+        assert result.best_reducer_count() == 10
+
+
+class TestWorkloadHelpers:
+    def test_default_workloads_seeded(self):
+        from repro.experiments import default_workloads
+        workloads = default_workloads(scale=0.2)
+        first = workloads["Weather"](3)
+        second = workloads["Weather"](3)
+        np.testing.assert_array_equal(
+            first.dataset.property_observations("high_temp").values,
+            second.dataset.property_observations("high_temp").values,
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for truth initialization strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.initialization import (
+    initialize_random,
+    initialize_vote_mean,
+    initialize_vote_median,
+    initializer_by_name,
+)
+from repro.data.encoding import MISSING_CODE
+
+
+class TestVoteMedian:
+    def test_categorical_is_majority(self, tiny_dataset):
+        columns = initialize_vote_median(tiny_dataset)
+        cond = columns[2]
+        codec = tiny_dataset.property_observations("condition").codec
+        # o1: sunny, sunny, rain -> sunny
+        assert codec.decode(int(cond[0])) == "sunny"
+
+    def test_continuous_is_median(self, tiny_dataset):
+        columns = initialize_vote_median(tiny_dataset)
+        temps = tiny_dataset.property_observations("temp").values
+        medians = np.median(temps, axis=0)
+        np.testing.assert_allclose(columns[0], medians)
+
+
+class TestVoteMean:
+    def test_continuous_is_mean(self, tiny_dataset):
+        columns = initialize_vote_mean(tiny_dataset)
+        temps = tiny_dataset.property_observations("temp").values
+        np.testing.assert_allclose(columns[0], temps.mean(axis=0))
+
+
+class TestRandom:
+    def test_values_are_claimed(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        columns = initialize_random(tiny_dataset, rng)
+        temps = tiny_dataset.property_observations("temp").values
+        for j, value in enumerate(columns[0]):
+            assert value in temps[:, j]
+
+    def test_respects_missing(self, mixed_schema):
+        from repro.data import DatasetBuilder
+        builder = DatasetBuilder(mixed_schema)
+        builder.add("o1", "a", "temp", 1.0)
+        builder.add("o2", "a", "condition", "rain")
+        dataset = builder.build()
+        columns = initialize_random(dataset, np.random.default_rng(0))
+        assert columns[0][0] == 1.0
+        assert np.isnan(columns[0][1])      # o2 temp never observed
+        assert np.isnan(columns[1][0])      # humidity never observed
+        assert columns[2][0] == MISSING_CODE
+        assert columns[2][1] != MISSING_CODE
+
+    def test_seeded_reproducible(self, tiny_dataset):
+        a = initialize_random(tiny_dataset, np.random.default_rng(5))
+        b = initialize_random(tiny_dataset, np.random.default_rng(5))
+        for col_a, col_b in zip(a, b):
+            np.testing.assert_array_equal(col_a, col_b)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert initializer_by_name("vote_median") is initialize_vote_median
+        assert initializer_by_name("vote_mean") is initialize_vote_mean
+        assert initializer_by_name("random") is initialize_random
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown initializer"):
+            initializer_by_name("zeros")

@@ -1,0 +1,143 @@
+"""End-to-end shape tests: the paper's headline comparisons must hold on
+the default workloads.  These are the assertions EXPERIMENTS.md cites."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import resolver_by_name
+from repro.data.schema import PropertyKind
+from repro.datasets import (
+    ADULT_ROUNDING,
+    PAPER_GAMMAS,
+    generate_adult_truth,
+    generate_flight_dataset,
+    generate_stock_dataset,
+    generate_weather_dataset,
+    simulate_sources,
+)
+from repro.metrics import error_rate, mnad
+
+
+def _scores(dataset, truth, methods):
+    errors, distances = {}, {}
+    for method in methods:
+        resolver = resolver_by_name(method)
+        result = resolver.fit(dataset)
+        if resolver.handles_kind(PropertyKind.CATEGORICAL):
+            errors[method] = error_rate(result.truths, truth)
+        if resolver.handles_kind(PropertyKind.CONTINUOUS):
+            distances[method] = mnad(result.truths, truth)
+    return errors, distances
+
+
+def _mean_scores(generate, methods, seeds=(1, 2, 3)):
+    all_errors: dict = {}
+    all_distances: dict = {}
+    for seed in seeds:
+        generated = generate(seed)
+        errors, distances = _scores(generated.dataset, generated.truth,
+                                    methods)
+        for method, value in errors.items():
+            all_errors.setdefault(method, []).append(value)
+        for method, value in distances.items():
+            all_distances.setdefault(method, []).append(value)
+    return (
+        {m: float(np.mean(v)) for m, v in all_errors.items()},
+        {m: float(np.mean(v)) for m, v in all_distances.items()},
+    )
+
+
+METHODS = ("CRH", "Voting", "Mean", "Median", "GTM", "Investment",
+           "PooledInvestment", "2-Estimates", "3-Estimates",
+           "TruthFinder", "AccuSim")
+
+
+@pytest.mark.slow
+class TestTable2Shape:
+    """Table 2: CRH achieves the best Error Rate and MNAD on all three
+    real-world-shaped datasets (averaged over seeds, as the recorded
+    benchmark does)."""
+
+    def test_weather(self):
+        errors, distances = _mean_scores(
+            lambda seed: generate_weather_dataset(seed=seed), METHODS
+        )
+        assert min(errors, key=errors.get) == "CRH"
+        assert min(distances, key=distances.get) == "CRH"
+        # Voting clearly worse than CRH (paper: 0.48 vs 0.38).
+        assert errors["Voting"] > errors["CRH"] * 1.1
+
+    def test_stock(self):
+        errors, distances = _mean_scores(
+            lambda seed: generate_stock_dataset(seed=seed), METHODS
+        )
+        assert min(errors, key=errors.get) == "CRH"
+        assert min(distances, key=distances.get) == "CRH"
+        # Mean is wrecked by the unit-mix-up outliers (paper: 7.19
+        # vs 2.64); median is robust but still behind CRH.
+        assert distances["Mean"] > 3 * distances["CRH"]
+        assert distances["Median"] > distances["CRH"]
+
+    def test_flight(self):
+        errors, distances = _mean_scores(
+            lambda seed: generate_flight_dataset(seed=seed), METHODS
+        )
+        assert min(errors, key=errors.get) == "CRH"
+        assert min(distances, key=distances.get) == "CRH"
+        # Stale sources drag every averaging method (paper: Mean 8.29
+        # vs CRH 4.86).
+        assert distances["Mean"] > 2 * distances["CRH"]
+
+
+@pytest.mark.slow
+class TestTable4Shape:
+    """Table 4: CRH fully recovers the categorical truths and has the
+    lowest MNAD on the simulated data."""
+
+    def test_adult(self):
+        truth = generate_adult_truth(1_500, seed=11)
+        dataset = simulate_sources(truth, PAPER_GAMMAS,
+                                   np.random.default_rng(11),
+                                   rounding=ADULT_ROUNDING)
+        errors, distances = _scores(dataset, truth, METHODS)
+        assert errors["CRH"] == 0.0
+        assert distances["CRH"] == min(distances.values())
+        assert errors["Voting"] > 0.0
+        # GTM is the runner-up on continuous (paper: 0.081 vs 0.064).
+        assert distances["GTM"] < distances["Mean"]
+        assert distances["GTM"] < distances["Median"]
+
+
+class TestReliabilityRecoveryShape:
+    def test_crh_weights_track_generative_quality(self):
+        generated = generate_weather_dataset(seed=4)
+        result = resolver_by_name("CRH").fit(generated.dataset)
+        from repro.metrics import rank_agreement
+        # Lower generative error scale -> higher estimated weight.
+        assert rank_agreement(-generated.source_error_scale,
+                              result.weights) > 0.8
+
+
+class TestExamplesRun:
+    """Every shipped example must execute cleanly end to end."""
+
+    @pytest.mark.parametrize("example", [
+        "quickstart.py",
+        "weather_fusion.py",
+        "streaming_sensors.py",
+        "deepweb_integration.py",
+        "entity_resolution.py",
+        "custom_losses.py",
+    ])
+    def test_example_script(self, example):
+        import pathlib
+        import subprocess
+        import sys
+        path = pathlib.Path(__file__).resolve().parent.parent / \
+            "examples" / example
+        completed = subprocess.run(
+            [sys.executable, str(path)],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip()

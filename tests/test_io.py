@@ -1,0 +1,103 @@
+"""Unit tests for CSV/JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import TruthTable, validate_dataset
+from repro.data.io import (
+    load_dataset,
+    read_records_csv,
+    read_truth_csv,
+    save_dataset,
+    schema_from_json,
+    schema_to_json,
+    write_records_csv,
+    write_truth_csv,
+)
+
+
+class TestRecordsCSV:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "records.csv"
+        rows = write_records_csv(tiny_dataset, path)
+        assert rows == tiny_dataset.n_observations()
+        loaded = read_records_csv(path, tiny_dataset.schema)
+        assert loaded.n_observations() == tiny_dataset.n_observations()
+        assert set(loaded.source_ids) == set(tiny_dataset.source_ids)
+        # Float precision survives repr round-trip.
+        temp = loaded.property_observations("temp")
+        i = loaded.object_index("o1")
+        k = loaded.source_index("c")
+        assert temp.values[k, i] == 55.0
+
+    def test_missing_column_rejected(self, tiny_dataset, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("object_id,source_id,value\na,b,1\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            read_records_csv(path, tiny_dataset.schema)
+
+    def test_timestamps_roundtrip(self, small_weather, tmp_path):
+        dataset = small_weather.dataset
+        path = tmp_path / "weather.csv"
+        write_records_csv(dataset, path)
+        loaded = read_records_csv(path, dataset.schema)
+        assert loaded.object_timestamps is not None
+        original = dict(zip(dataset.object_ids,
+                            dataset.object_timestamps.tolist()))
+        for object_id, timestamp in zip(loaded.object_ids,
+                                        loaded.object_timestamps.tolist()):
+            assert original[object_id] == timestamp
+
+
+class TestTruthCSV:
+    def test_roundtrip(self, tiny_truth, tiny_dataset, tmp_path):
+        path = tmp_path / "truth.csv"
+        count = write_truth_csv(tiny_truth, path)
+        assert count == tiny_truth.n_objects
+        loaded = read_truth_csv(path, tiny_truth.schema,
+                                codecs=tiny_dataset.codecs())
+        assert loaded.n_truths() == tiny_truth.n_truths()
+        assert loaded.value("o3", "condition") == "sunny"
+        assert loaded.value("o3", "temp") == pytest.approx(79.5)
+
+    def test_partial_truth_roundtrip(self, mixed_schema, tmp_path):
+        truth = TruthTable.from_labels(
+            mixed_schema, ["o1", "o2"],
+            {
+                "temp": [70.0, float("nan")],
+                "humidity": [0.5, 0.6],
+                "condition": ["sunny", None],
+            },
+        )
+        path = tmp_path / "partial.csv"
+        write_truth_csv(truth, path)
+        loaded = read_truth_csv(path, mixed_schema)
+        assert loaded.value("o2", "temp") is None
+        assert loaded.value("o2", "condition") is None
+        assert loaded.n_truths() == 4
+
+    def test_missing_column_rejected(self, mixed_schema, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("object_id,temp\no1,1.0\n")
+        with pytest.raises(ValueError, match="missing column"):
+            read_truth_csv(path, mixed_schema)
+
+
+class TestSchemaJSON:
+    def test_roundtrip(self, mixed_schema):
+        loaded = schema_from_json(schema_to_json(mixed_schema))
+        assert loaded == mixed_schema
+
+    def test_units_preserved(self, mixed_schema):
+        loaded = schema_from_json(schema_to_json(mixed_schema))
+        assert loaded["temp"].unit == "F"
+
+
+class TestDatasetDirectory:
+    def test_save_load(self, tiny_dataset, tmp_path):
+        directory = tmp_path / "bundle"
+        save_dataset(tiny_dataset, directory)
+        loaded = load_dataset(directory)
+        assert loaded.schema == tiny_dataset.schema
+        assert loaded.n_observations() == tiny_dataset.n_observations()
+        assert validate_dataset(loaded).ok

@@ -1,0 +1,218 @@
+"""Unit + property tests for the evaluation measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import DatasetSchema, TruthTable, categorical, continuous
+from repro.metrics import (
+    compare_reliability,
+    error_rate,
+    evaluate,
+    mnad,
+    normalize_scores,
+    pearson_correlation,
+    rank_agreement,
+    true_source_reliability,
+)
+
+
+def _make_tables(est_values, truth_values):
+    schema = DatasetSchema.of(continuous("x"), categorical("c"))
+    object_ids = [f"o{i}" for i in range(len(truth_values["x"]))]
+    truth = TruthTable.from_labels(schema, object_ids, truth_values)
+    estimate = TruthTable.from_labels(schema, object_ids, est_values,
+                                      codecs=truth.codecs)
+    return estimate, truth
+
+
+class TestErrorRate:
+    def test_perfect(self):
+        estimate, truth = _make_tables(
+            {"x": [1.0, 2.0], "c": ["a", "b"]},
+            {"x": [1.0, 2.0], "c": ["a", "b"]},
+        )
+        assert error_rate(estimate, truth) == 0.0
+
+    def test_half_wrong(self):
+        estimate, truth = _make_tables(
+            {"x": [1.0, 2.0], "c": ["a", "a"]},
+            {"x": [1.0, 2.0], "c": ["a", "b"]},
+        )
+        assert error_rate(estimate, truth) == 0.5
+
+    def test_unlabeled_entries_skipped(self):
+        estimate, truth = _make_tables(
+            {"x": [1.0, 2.0], "c": ["a", "z"]},
+            {"x": [1.0, 2.0], "c": ["a", None]},
+        )
+        assert error_rate(estimate, truth) == 0.0
+
+    def test_no_categorical_truths_gives_none(self):
+        estimate, truth = _make_tables(
+            {"x": [1.0], "c": ["a"]},
+            {"x": [1.0], "c": [None]},
+        )
+        assert error_rate(estimate, truth) is None
+
+    def test_different_codecs_compared_by_label(self):
+        schema = DatasetSchema.of(categorical("c"))
+        truth = TruthTable.from_labels(schema, ["o1", "o2"],
+                                       {"c": ["x", "y"]})
+        # Estimate built with its own codec, reversed code order.
+        estimate = TruthTable.from_labels(schema, ["o1", "o2"],
+                                          {"c": ["y", "y"]})
+        assert error_rate(estimate, truth) == 0.5
+
+    def test_missing_estimate_counts_wrong(self):
+        schema = DatasetSchema.of(categorical("c"))
+        truth = TruthTable.from_labels(schema, ["o1"], {"c": ["x"]})
+        estimate = TruthTable.from_labels(schema, ["o1"], {"c": [None]},
+                                          codecs=truth.codecs)
+        assert error_rate(estimate, truth) == 1.0
+
+    def test_misaligned_rejected(self):
+        estimate, truth = _make_tables(
+            {"x": [1.0], "c": ["a"]}, {"x": [1.0], "c": ["a"]},
+        )
+        other = truth.select_objects(np.array([0]))
+        object.__setattr__  # keep linters quiet about unused import
+        shuffled = TruthTable(
+            schema=truth.schema, object_ids=["different"],
+            columns=truth.columns, codecs=truth.codecs,
+        )
+        with pytest.raises(ValueError, match="different objects"):
+            error_rate(shuffled, truth)
+
+
+class TestMNAD:
+    def test_perfect(self):
+        estimate, truth = _make_tables(
+            {"x": [1.0, 5.0, 9.0], "c": ["a"] * 3},
+            {"x": [1.0, 5.0, 9.0], "c": ["a"] * 3},
+        )
+        assert mnad(estimate, truth) == 0.0
+
+    def test_scale_invariance(self):
+        """Scaling a property's values leaves MNAD unchanged."""
+        base_truth = [1.0, 5.0, 9.0]
+        base_est = [1.5, 5.5, 8.5]
+        _, t1 = 0, None
+        est1, truth1 = _make_tables(
+            {"x": base_est, "c": ["a"] * 3},
+            {"x": base_truth, "c": ["a"] * 3},
+        )
+        est2, truth2 = _make_tables(
+            {"x": [v * 100 for v in base_est], "c": ["a"] * 3},
+            {"x": [v * 100 for v in base_truth], "c": ["a"] * 3},
+        )
+        assert mnad(est1, truth1) == pytest.approx(mnad(est2, truth2))
+
+    def test_unlabeled_skipped(self):
+        estimate, truth = _make_tables(
+            {"x": [1.0, 999.0, 3.0], "c": ["a"] * 3},
+            {"x": [1.0, float("nan"), 3.0], "c": ["a"] * 3},
+        )
+        assert mnad(estimate, truth) == 0.0
+
+    def test_abstention_penalized(self):
+        estimate, truth = _make_tables(
+            {"x": [float("nan"), 5.0, 9.0], "c": ["a"] * 3},
+            {"x": [1.0, 5.0, 9.0], "c": ["a"] * 3},
+        )
+        assert mnad(estimate, truth) > 0.0
+
+    def test_worse_estimates_higher_mnad(self):
+        close, truth = _make_tables(
+            {"x": [1.1, 5.1, 9.1], "c": ["a"] * 3},
+            {"x": [1.0, 5.0, 9.0], "c": ["a"] * 3},
+        )
+        far, _ = _make_tables(
+            {"x": [3.0, 8.0, 12.0], "c": ["a"] * 3},
+            {"x": [1.0, 5.0, 9.0], "c": ["a"] * 3},
+        )
+        assert mnad(close, truth) < mnad(far, truth)
+
+
+class TestEvaluate:
+    def test_combined_report(self):
+        estimate, truth = _make_tables(
+            {"x": [1.0, 2.0], "c": ["a", "a"]},
+            {"x": [1.0, 3.0], "c": ["a", "b"]},
+        )
+        report = evaluate(estimate, truth)
+        assert report.error_rate == 0.5
+        assert report.mnad > 0
+        assert report.n_categorical_evaluated == 2
+        assert report.n_categorical_wrong == 1
+        assert report.n_continuous_evaluated == 2
+
+
+class TestReliability:
+    def test_true_reliability_orders_sources(self, synthetic_workload):
+        dataset, truth = synthetic_workload
+        scores = true_source_reliability(dataset, truth)
+        assert scores.shape == (5,)
+        assert (np.diff(scores) <= 1e-9).all()   # best-to-worst fixture
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_compare_reliability(self, synthetic_workload):
+        dataset, truth = synthetic_workload
+        estimated = [5.0, 4.0, 3.0, 2.0, 1.0]
+        comparison = compare_reliability("M", dataset, truth, estimated)
+        assert comparison.spearman == pytest.approx(1.0)
+        inverted = compare_reliability("M", dataset, truth,
+                                       estimated, invert=True)
+        assert inverted.spearman == pytest.approx(-1.0)
+
+
+class TestScoreHelpers:
+    def test_normalize_scores(self):
+        out = normalize_scores([2.0, 4.0, 6.0])
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_normalize_constant(self):
+        np.testing.assert_allclose(normalize_scores([3.0, 3.0]), [0.5, 0.5])
+
+    def test_normalize_invert(self):
+        out = normalize_scores([1.0, 3.0], invert=True)
+        np.testing.assert_allclose(out, [1.0, 0.0])
+
+    def test_pearson(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == \
+            pytest.approx(1.0)
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == \
+            pytest.approx(-1.0)
+
+    def test_pearson_validation(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [1.0])
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_rank_agreement_ignores_scale(self):
+        assert rank_agreement([1, 10, 100], [0.1, 0.2, 0.3]) == \
+            pytest.approx(1.0)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False),
+                min_size=2, max_size=40))
+def test_normalize_scores_in_unit_interval(scores):
+    out = normalize_scores(scores)
+    assert (out >= 0.0).all() and (out <= 1.0).all()
+
+
+@given(st.lists(st.tuples(st.floats(min_value=-100, max_value=100),
+                          st.floats(min_value=-100, max_value=100)),
+                min_size=2, max_size=30))
+def test_pearson_bounded(pairs):
+    x = [p[0] for p in pairs]
+    y = [p[1] for p in pairs]
+    if np.std(x) <= 1e-9 or np.std(y) <= 1e-9:
+        return
+    r = pearson_correlation(x, y)
+    assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9

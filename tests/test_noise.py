@@ -1,0 +1,162 @@
+"""Unit + property tests for the gamma-controlled noise model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.noise import NoiseModel, expected_categorical_accuracy
+
+
+class TestFlipThreshold:
+    def test_dead_zone(self):
+        model = NoiseModel()
+        assert model.flip_threshold(0.0) == 0.0
+        assert model.flip_threshold(0.1) == 0.0
+        assert model.flip_threshold(model.flip_deadzone) == 0.0
+
+    def test_monotone_beyond_deadzone(self):
+        model = NoiseModel()
+        thetas = [model.flip_threshold(g) for g in
+                  (0.6, 1.0, 1.5, 2.0, 3.0)]
+        assert all(b >= a for a, b in zip(thetas, thetas[1:]))
+
+    def test_capped_at_theta_max(self):
+        model = NoiseModel(theta_max=0.8)
+        assert model.flip_threshold(100.0) == 0.8
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel().flip_threshold(-0.1)
+
+    def test_paper_gamma_range_spans_reliable_to_useless(self):
+        model = NoiseModel()
+        assert model.flip_threshold(0.1) == 0.0      # fully reliable
+        assert model.flip_threshold(2.0) >= 0.5      # mostly wrong
+
+
+class TestNoiseStd:
+    def test_proportional_to_gamma(self):
+        model = NoiseModel()
+        assert model.noise_std(2.0, 10.0) == \
+            pytest.approx(2 * model.noise_std(1.0, 10.0))
+
+    def test_proportional_to_spread(self):
+        model = NoiseModel()
+        assert model.noise_std(1.0, 20.0) == \
+            pytest.approx(2 * model.noise_std(1.0, 10.0))
+
+
+class TestPerturbContinuous:
+    def test_zero_gamma_is_identity(self):
+        model = NoiseModel()
+        truth = np.array([1.0, 2.0, 3.0])
+        out = model.perturb_continuous(truth, 0.0,
+                                       np.random.default_rng(0))
+        np.testing.assert_allclose(out, truth)
+
+    def test_rounding(self):
+        model = NoiseModel()
+        truth = np.linspace(0, 100, 50)
+        out = model.perturb_continuous(truth, 1.0,
+                                       np.random.default_rng(0),
+                                       decimals=0)
+        np.testing.assert_allclose(out, np.round(out))
+
+    def test_nan_truths_stay_nan(self):
+        model = NoiseModel()
+        truth = np.array([1.0, np.nan, 3.0])
+        out = model.perturb_continuous(truth, 1.0,
+                                       np.random.default_rng(0))
+        assert np.isnan(out[1])
+        assert not np.isnan(out[0])
+
+    def test_noise_scale_matches_gamma(self):
+        model = NoiseModel()
+        rng = np.random.default_rng(1)
+        truth = rng.normal(0, 10, 20_000)
+        out = model.perturb_continuous(truth, 1.0, rng)
+        residual_std = np.std(out - truth)
+        expected = model.noise_std(1.0, float(np.std(truth)))
+        assert residual_std == pytest.approx(expected, rel=0.05)
+
+
+class TestPerturbCategorical:
+    def test_zero_gamma_is_identity(self):
+        model = NoiseModel()
+        truth = np.array([0, 1, 2, 1], dtype=np.int32)
+        out = model.perturb_categorical(truth, 3, 0.0,
+                                        np.random.default_rng(0))
+        np.testing.assert_array_equal(out, truth)
+
+    def test_flips_never_reproduce_truth(self):
+        model = NoiseModel()
+        rng = np.random.default_rng(2)
+        truth = rng.integers(0, 5, 5_000).astype(np.int32)
+        out = model.perturb_categorical(truth, 5, 2.0, rng)
+        flipped = out != truth
+        assert flipped.any()
+        # Flipped values are in-range and never equal the truth.
+        assert (out[flipped] >= 0).all() and (out[flipped] < 5).all()
+
+    def test_flip_rate_matches_theta(self):
+        model = NoiseModel()
+        rng = np.random.default_rng(3)
+        truth = rng.integers(0, 4, 50_000).astype(np.int32)
+        gamma = 1.5
+        out = model.perturb_categorical(truth, 4, gamma, rng)
+        rate = float((out != truth).mean())
+        assert rate == pytest.approx(model.flip_threshold(gamma), abs=0.01)
+
+    def test_missing_codes_preserved(self):
+        model = NoiseModel()
+        truth = np.array([0, -1, 2], dtype=np.int32)
+        out = model.perturb_categorical(truth, 3, 2.0,
+                                        np.random.default_rng(0))
+        assert out[1] == -1
+
+    def test_binary_domain(self):
+        model = NoiseModel()
+        rng = np.random.default_rng(4)
+        truth = rng.integers(0, 2, 10_000).astype(np.int32)
+        out = model.perturb_categorical(truth, 2, 2.0, rng)
+        assert set(np.unique(out)) <= {0, 1}
+
+    def test_single_category_cannot_flip(self):
+        model = NoiseModel()
+        truth = np.zeros(10, dtype=np.int32)
+        out = model.perturb_categorical(truth, 1, 2.0,
+                                        np.random.default_rng(0))
+        np.testing.assert_array_equal(out, truth)
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NoiseModel(continuous_scale=0.0)
+        with pytest.raises(ValueError):
+            NoiseModel(flip_deadzone=-1.0)
+        with pytest.raises(ValueError):
+            NoiseModel(flip_slope=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(theta_max=0.0)
+
+    def test_expected_accuracy(self):
+        model = NoiseModel()
+        assert expected_categorical_accuracy(model, 0.1) == 1.0
+        assert expected_categorical_accuracy(model, 2.0) == \
+            pytest.approx(1.0 - model.flip_threshold(2.0))
+
+
+@given(st.floats(min_value=0.0, max_value=5.0),
+       st.floats(min_value=0.0, max_value=5.0))
+def test_flip_threshold_monotone_property(g1, g2):
+    model = NoiseModel()
+    low, high = sorted((g1, g2))
+    assert model.flip_threshold(low) <= model.flip_threshold(high)
+
+
+@given(st.floats(min_value=0.0, max_value=10.0))
+def test_flip_threshold_in_unit_interval(gamma):
+    theta = NoiseModel().flip_threshold(gamma)
+    assert 0.0 <= theta <= 0.95

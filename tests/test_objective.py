@@ -1,0 +1,116 @@
+"""Unit tests for objective computation and convergence criteria."""
+
+import numpy as np
+import pytest
+
+from repro.core.losses import loss_by_name
+from repro.core.objective import (
+    ConvergenceCriterion,
+    DeviationOptions,
+    objective_value,
+    per_source_deviations,
+)
+
+
+def _states(dataset):
+    losses = []
+    states = []
+    uniform = np.ones(dataset.n_sources)
+    for prop in dataset.properties:
+        loss = loss_by_name(
+            "zero_one" if prop.schema.is_categorical else "absolute"
+        )
+        losses.append(loss)
+        states.append(loss.update_truth(prop, uniform))
+    return losses, states
+
+
+class TestPerSourceDeviations:
+    def test_shape_and_nonnegative(self, tiny_dataset):
+        losses, states = _states(tiny_dataset)
+        dev = per_source_deviations(tiny_dataset, losses, states)
+        assert dev.shape == (3,)
+        assert (dev >= 0).all()
+
+    def test_count_normalization(self, tiny_dataset):
+        losses, states = _states(tiny_dataset)
+        raw = per_source_deviations(
+            tiny_dataset, losses, states,
+            DeviationOptions(normalize_by_counts=False),
+        )
+        normalized = per_source_deviations(
+            tiny_dataset, losses, states,
+            DeviationOptions(normalize_by_counts=True),
+        )
+        # Fully observed: raw = normalized * 15 observations per source.
+        np.testing.assert_allclose(raw, normalized * 15)
+
+    def test_property_mean_scaling(self, tiny_dataset):
+        losses, states = _states(tiny_dataset)
+        scaled = per_source_deviations(
+            tiny_dataset, losses, states,
+            DeviationOptions(property_scale="mean"),
+        )
+        assert scaled.shape == (3,)
+        assert np.isfinite(scaled).all()
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError, match="property_scale"):
+            DeviationOptions(property_scale="sum")
+
+    def test_bad_source_has_highest_deviation(self, tiny_dataset):
+        losses, states = _states(tiny_dataset)
+        dev = per_source_deviations(tiny_dataset, losses, states)
+        assert dev.argmax() == 2  # source "c" is the sloppy one
+
+
+class TestObjectiveValue:
+    def test_is_weight_dot_deviation(self, tiny_dataset):
+        losses, states = _states(tiny_dataset)
+        weights = np.array([2.0, 1.0, 0.5])
+        dev = per_source_deviations(tiny_dataset, losses, states)
+        assert objective_value(
+            tiny_dataset, losses, states, weights
+        ) == pytest.approx(float(weights @ dev))
+
+    def test_zero_weights_zero_objective(self, tiny_dataset):
+        losses, states = _states(tiny_dataset)
+        assert objective_value(
+            tiny_dataset, losses, states, np.zeros(3)
+        ) == 0.0
+
+
+class TestConvergenceCriterion:
+    def test_first_update_never_converges(self):
+        criterion = ConvergenceCriterion(tol=1.0)
+        assert not criterion.update(10.0)
+
+    def test_converges_on_small_relative_change(self):
+        criterion = ConvergenceCriterion(tol=1e-3)
+        assert not criterion.update(100.0)
+        assert criterion.update(100.0001)
+
+    def test_large_change_resets(self):
+        criterion = ConvergenceCriterion(tol=1e-3, patience=2)
+        criterion.update(100.0)
+        assert not criterion.update(100.0)      # streak 1 of 2
+        assert not criterion.update(50.0)       # reset
+        assert not criterion.update(50.0)       # streak 1 of 2
+        assert criterion.update(50.0)           # streak 2 of 2
+
+    def test_reset(self):
+        criterion = ConvergenceCriterion(tol=1e-3)
+        criterion.update(1.0)
+        criterion.reset()
+        assert not criterion.update(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ConvergenceCriterion(tol=-1.0)
+        with pytest.raises(ValueError):
+            ConvergenceCriterion(patience=0)
+
+    def test_handles_zero_objective(self):
+        criterion = ConvergenceCriterion(tol=1e-6)
+        criterion.update(0.0)
+        assert criterion.update(0.0)

@@ -1,0 +1,85 @@
+"""Tests for the dataset conflict profiler."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetBuilder, DatasetSchema, categorical, continuous
+from repro.data.profile import profile_dataset
+
+
+class TestPropertyProfiles:
+    def test_fully_observed_counts(self, tiny_dataset):
+        profile = profile_dataset(tiny_dataset)
+        assert profile.n_sources == 3
+        assert profile.n_objects == 5
+        assert profile.n_observations == 45
+        assert profile.n_entries == 15
+        for prop in profile.properties:
+            assert prop.n_entries == 5
+            assert prop.mean_claims == 3.0
+            assert prop.multi_claimed_fraction == 1.0
+
+    def test_conflict_rate_hand_checked(self):
+        """Two entries: one unanimous, one conflicted."""
+        schema = DatasetSchema.of(categorical("c", ["u", "v"]))
+        builder = DatasetBuilder(schema)
+        builder.add("agree", "a", "c", "u")
+        builder.add("agree", "b", "c", "u")
+        builder.add("fight", "a", "c", "u")
+        builder.add("fight", "b", "c", "v")
+        profile = profile_dataset(builder.build())
+        prop = profile.properties[0]
+        assert prop.conflict_rate == 0.5
+        assert prop.mean_distinct_values == 2.0
+        assert profile.overall_conflict_rate == 0.5
+
+    def test_single_claim_entries_not_conflicted(self):
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        builder.add("solo", "a", "x", 1.0)
+        builder.add("pair", "a", "x", 1.0)
+        builder.add("pair", "b", "x", 2.0)
+        profile = profile_dataset(builder.build())
+        prop = profile.properties[0]
+        assert prop.multi_claimed_fraction == 0.5
+        assert prop.conflict_rate == 1.0   # the one multi entry conflicts
+
+    def test_continuous_exact_agreement_not_conflicted(self):
+        schema = DatasetSchema.of(continuous("x"))
+        builder = DatasetBuilder(schema)
+        builder.add("o", "a", "x", 3.14)
+        builder.add("o", "b", "x", 3.14)
+        profile = profile_dataset(builder.build())
+        assert profile.properties[0].conflict_rate == 0.0
+
+
+class TestSourceProfiles:
+    def test_coverage_and_contradiction(self):
+        schema = DatasetSchema.of(categorical("c", ["u", "v"]))
+        builder = DatasetBuilder(schema)
+        builder.add("e1", "dense", "c", "u")
+        builder.add("e2", "dense", "c", "u")
+        builder.add("e1", "sparse", "c", "v")
+        profile = profile_dataset(builder.build())
+        by_id = {s.source_id: s for s in profile.sources}
+        assert by_id["dense"].n_claims == 2
+        assert by_id["dense"].coverage == 1.0
+        assert by_id["sparse"].coverage == 0.5
+        # e1 conflicts: both claimants contradicted there; e2 is solo.
+        assert by_id["dense"].contradicted_fraction == 0.5
+        assert by_id["sparse"].contradicted_fraction == 1.0
+
+    def test_workload_profiles_are_paper_like(self, small_weather):
+        """The weather workload is genuinely contested (the regime where
+        reliability estimation matters)."""
+        profile = profile_dataset(small_weather.dataset)
+        assert 0.3 < profile.overall_conflict_rate <= 1.0
+        coverages = [s.coverage for s in profile.sources]
+        assert max(coverages) <= 1.0
+        assert min(coverages) > 0.5
+
+    def test_render(self, tiny_dataset):
+        text = profile_dataset(tiny_dataset).render()
+        assert "Per property" in text
+        assert "Per source" in text
+        assert "conflict rate" in text

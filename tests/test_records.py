@@ -1,0 +1,95 @@
+"""Unit tests for the record-triple view and converters."""
+
+import numpy as np
+
+from repro.data import (
+    EntryId,
+    Record,
+    count_observations_per_source,
+    dataset_to_records,
+    encoded_record_arrays,
+    records_to_dataset,
+)
+from repro.data.records import claimed_values
+
+
+class TestRecordConversion:
+    def test_record_count_matches_observations(self, tiny_dataset):
+        records = list(dataset_to_records(tiny_dataset))
+        assert len(records) == tiny_dataset.n_observations()
+
+    def test_roundtrip(self, tiny_dataset):
+        records = list(dataset_to_records(tiny_dataset))
+        rebuilt = records_to_dataset(records, tiny_dataset.schema)
+        assert set(rebuilt.object_ids) == set(tiny_dataset.object_ids)
+        assert set(rebuilt.source_ids) == set(tiny_dataset.source_ids)
+        assert rebuilt.n_observations() == tiny_dataset.n_observations()
+        # Same claims per entry after the roundtrip.
+        for i, object_id in enumerate(tiny_dataset.object_ids):
+            for m in range(tiny_dataset.n_properties):
+                original = claimed_values(tiny_dataset, i, m)
+                rebuilt_claims = claimed_values(
+                    rebuilt, rebuilt.object_index(object_id), m
+                )
+                assert original == rebuilt_claims
+
+    def test_decoded_values(self, tiny_dataset):
+        records = list(dataset_to_records(tiny_dataset))
+        conditions = {
+            r.value for r in records
+            if r.entry.property_name == "condition"
+        }
+        assert conditions <= {"sunny", "cloudy", "rain"}
+        temps = [r.value for r in records
+                 if r.entry.property_name == "temp"]
+        assert all(isinstance(t, float) for t in temps)
+
+    def test_timestamps_preserved(self, mixed_schema):
+        from repro.data import DatasetBuilder
+        builder = DatasetBuilder(mixed_schema)
+        builder.add("o1", "a", "temp", 70.0, timestamp=4)
+        dataset = builder.build()
+        (record,) = dataset_to_records(dataset)
+        assert record.timestamp == 4
+
+    def test_entry_id_str(self):
+        assert str(EntryId("obj", "prop")) == "obj::prop"
+
+
+class TestEncodedArrays:
+    def test_alignment(self, tiny_dataset):
+        arrays = encoded_record_arrays(tiny_dataset)
+        assert set(arrays) == set(tiny_dataset.schema.names())
+        total = sum(cols["object"].size for cols in arrays.values())
+        assert total == tiny_dataset.n_observations()
+        temp = arrays["temp"]
+        assert temp["object"].shape == temp["source"].shape \
+            == temp["value"].shape
+
+    def test_values_match_matrix(self, tiny_dataset):
+        arrays = encoded_record_arrays(tiny_dataset)
+        temp = arrays["temp"]
+        matrix = tiny_dataset.property_observations("temp").values
+        for obj, src, value in zip(temp["object"], temp["source"],
+                                   temp["value"]):
+            assert matrix[src, obj] == value
+
+
+class TestCounts:
+    def test_full_observation_counts(self, tiny_dataset):
+        counts = count_observations_per_source(tiny_dataset)
+        assert counts.tolist() == [15, 15, 15]
+
+    def test_counts_with_missing(self, mixed_schema):
+        from repro.data import DatasetBuilder
+        builder = DatasetBuilder(mixed_schema)
+        builder.add("o1", "a", "temp", 1.0)
+        builder.add("o1", "a", "humidity", 2.0)
+        builder.add("o1", "b", "temp", 3.0)
+        dataset = builder.build()
+        counts = count_observations_per_source(dataset)
+        assert counts.tolist() == [2, 1]
+
+    def test_claimed_values(self, tiny_dataset):
+        claims = claimed_values(tiny_dataset, 0, 2)
+        assert claims == {"a": "sunny", "b": "sunny", "c": "rain"}

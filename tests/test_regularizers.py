@@ -1,0 +1,153 @@
+"""Unit + property tests for the weight assignment schemes (Section 2.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.regularizers import (
+    ExponentialWeights,
+    LpNormWeights,
+    TopJSelectionWeights,
+    weight_scheme_by_name,
+)
+
+loss_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=20,
+).map(np.array)
+
+
+class TestExponentialWeights:
+    def test_max_normalizer_formula(self):
+        scheme = ExponentialWeights("max")
+        loss = np.array([0.25, 0.5, 1.0])
+        weights = scheme.weights(loss)
+        np.testing.assert_allclose(weights, -np.log(loss / 1.0))
+
+    def test_sum_normalizer_formula(self):
+        scheme = ExponentialWeights("sum")
+        loss = np.array([1.0, 3.0])
+        weights = scheme.weights(loss)
+        np.testing.assert_allclose(weights, -np.log(loss / 4.0))
+
+    def test_sum_normalizer_satisfies_constraint(self):
+        """Eq. 4 with the sum normalizer: sum exp(-w_k) == 1."""
+        scheme = ExponentialWeights("sum")
+        loss = np.array([0.3, 0.8, 1.4, 0.05])
+        weights = scheme.weights(loss)
+        assert np.exp(-weights).sum() == pytest.approx(1.0)
+
+    def test_lower_loss_higher_weight(self):
+        scheme = ExponentialWeights("max")
+        loss = np.array([0.1, 0.5, 0.9])
+        weights = scheme.weights(loss)
+        assert weights[0] > weights[1] > weights[2]
+
+    def test_worst_source_weight_zero_under_max(self):
+        weights = ExponentialWeights("max").weights(np.array([0.2, 0.7]))
+        assert weights[1] == pytest.approx(0.0)
+
+    def test_all_zero_losses_uniform(self):
+        weights = ExponentialWeights("max").weights(np.zeros(4))
+        np.testing.assert_array_equal(weights, np.ones(4))
+
+    def test_all_equal_losses_uniform_under_max(self):
+        weights = ExponentialWeights("max").weights(np.full(3, 0.4))
+        np.testing.assert_array_equal(weights, np.ones(3))
+
+    def test_perfect_source_gets_finite_floored_weight(self):
+        weights = ExponentialWeights("max").weights(np.array([0.0, 1.0]))
+        assert np.isfinite(weights[0])
+        assert weights[0] > weights[1]
+
+    def test_invalid_normalizer(self):
+        with pytest.raises(ValueError, match="'max' or 'sum'"):
+            ExponentialWeights("median")
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError, match="floor_ratio"):
+            ExponentialWeights(floor_ratio=2.0)
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ExponentialWeights().weights(np.array([-0.1, 0.5]))
+
+    def test_nan_loss_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialWeights().weights(np.array([np.nan, 0.5]))
+
+
+@given(loss_vectors)
+def test_exponential_weights_order_preserving(loss):
+    """Lower deviation never yields a lower weight (both normalizers)."""
+    for normalizer in ("max", "sum"):
+        weights = ExponentialWeights(normalizer).weights(loss)
+        order_loss = np.argsort(loss, kind="stable")
+        sorted_weights = weights[order_loss]
+        assert (np.diff(sorted_weights) <= 1e-12).all()
+
+
+class TestLpNormWeights:
+    def test_selects_single_best(self):
+        for p in (1, 2, 3):
+            weights = LpNormWeights(p).weights(np.array([0.5, 0.1, 0.9]))
+            np.testing.assert_array_equal(weights, [0.0, 1.0, 0.0])
+
+    def test_constraint_satisfied(self):
+        weights = LpNormWeights(2).weights(np.array([0.5, 0.1]))
+        assert np.linalg.norm(weights, 2) == pytest.approx(1.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            LpNormWeights(0)
+
+
+class TestTopJSelection:
+    def test_selects_j_best(self):
+        weights = TopJSelectionWeights(2).weights(
+            np.array([0.9, 0.1, 0.5, 0.3])
+        )
+        np.testing.assert_array_equal(weights, [0.0, 1.0, 0.0, 1.0])
+
+    def test_constraint_satisfied(self):
+        j = 3
+        weights = TopJSelectionWeights(j).weights(np.arange(1.0, 6.0))
+        assert weights.sum() == j
+        assert set(np.unique(weights)) <= {0.0, 1.0}
+
+    def test_ties_resolve_to_lower_index(self):
+        weights = TopJSelectionWeights(1).weights(np.array([0.5, 0.5]))
+        np.testing.assert_array_equal(weights, [1.0, 0.0])
+
+    def test_j_too_large(self):
+        with pytest.raises(ValueError, match="cannot select"):
+            TopJSelectionWeights(3).weights(np.array([0.1, 0.2]))
+
+    def test_invalid_j(self):
+        with pytest.raises(ValueError):
+            TopJSelectionWeights(0)
+
+
+@given(loss_vectors, st.integers(min_value=1, max_value=20))
+def test_top_j_picks_lowest_losses(loss, j):
+    if j > loss.size:
+        return
+    weights = TopJSelectionWeights(j).weights(loss)
+    selected = loss[weights > 0]
+    rejected = loss[weights == 0]
+    if rejected.size:
+        assert selected.max() <= rejected.min() + 1e-12
+
+
+class TestSchemeRegistry:
+    def test_lookup(self):
+        assert isinstance(weight_scheme_by_name("exponential"),
+                          ExponentialWeights)
+        assert isinstance(weight_scheme_by_name("lp", p=1), LpNormWeights)
+        assert isinstance(weight_scheme_by_name("top_j", j=2),
+                          TopJSelectionWeights)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown weight scheme"):
+            weight_scheme_by_name("nope")

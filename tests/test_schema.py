@@ -1,0 +1,95 @@
+"""Unit tests for the schema layer."""
+
+import pytest
+
+from repro.data.schema import (
+    DatasetSchema,
+    PropertyKind,
+    PropertySchema,
+    categorical,
+    continuous,
+)
+
+
+class TestPropertySchema:
+    def test_categorical_helper(self):
+        prop = categorical("cond", ["a", "b"], unit="label")
+        assert prop.kind is PropertyKind.CATEGORICAL
+        assert prop.categories == ("a", "b")
+        assert prop.is_categorical and not prop.is_continuous
+
+    def test_continuous_helper(self):
+        prop = continuous("temp", unit="F")
+        assert prop.kind is PropertyKind.CONTINUOUS
+        assert prop.categories is None
+        assert prop.is_continuous and not prop.is_categorical
+
+    def test_open_categorical_domain(self):
+        prop = categorical("cond")
+        assert prop.categories is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PropertySchema(name="", kind=PropertyKind.CONTINUOUS)
+
+    def test_continuous_with_categories_rejected(self):
+        with pytest.raises(ValueError, match="cannot declare categories"):
+            PropertySchema(name="x", kind=PropertyKind.CONTINUOUS,
+                           categories=("a",))
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ValueError, match="duplicate categories"):
+            categorical("cond", ["a", "a"])
+
+    def test_frozen(self):
+        prop = continuous("x")
+        with pytest.raises(AttributeError):
+            prop.name = "y"
+
+
+class TestDatasetSchema:
+    def test_ordering_and_lookup(self):
+        schema = DatasetSchema.of(continuous("a"), categorical("b"),
+                                  continuous("c"))
+        assert len(schema) == 3
+        assert schema.names() == ("a", "b", "c")
+        assert schema.index_of("b") == 1
+        assert schema["c"].name == "c"
+        assert schema[0].name == "a"
+        assert "b" in schema
+        assert "z" not in schema
+
+    def test_unknown_property_raises(self):
+        schema = DatasetSchema.of(continuous("a"))
+        with pytest.raises(KeyError, match="unknown property"):
+            schema.index_of("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DatasetSchema.of(continuous("a"), categorical("a"))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DatasetSchema(properties=())
+
+    def test_kind_indices(self):
+        schema = DatasetSchema.of(continuous("a"), categorical("b"),
+                                  continuous("c"))
+        assert schema.continuous_indices == (0, 2)
+        assert schema.categorical_indices == (1,)
+
+    def test_restrict(self):
+        schema = DatasetSchema.of(continuous("a"), categorical("b"))
+        cont = schema.restrict(PropertyKind.CONTINUOUS)
+        assert cont.names() == ("a",)
+        cat = schema.restrict(PropertyKind.CATEGORICAL)
+        assert cat.names() == ("b",)
+
+    def test_restrict_empty_raises(self):
+        schema = DatasetSchema.of(continuous("a"))
+        with pytest.raises(ValueError, match="no categorical"):
+            schema.restrict(PropertyKind.CATEGORICAL)
+
+    def test_iteration(self):
+        schema = DatasetSchema.of(continuous("a"), categorical("b"))
+        assert [p.name for p in schema] == ["a", "b"]

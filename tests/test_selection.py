@@ -1,0 +1,80 @@
+"""Unit tests for source selection (Section 2.3, Eqs. 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    select_best_source,
+    select_top_j_sources,
+    select_under_budget,
+)
+from repro.metrics import error_rate
+
+
+class TestBestSource:
+    def test_selects_exactly_one(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        selection = select_best_source(dataset)
+        assert selection.n_selected == 1
+        assert selection.result.method == "CRH-L2"
+
+    def test_selects_the_best(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        selection = select_best_source(dataset)
+        # Sources are ordered best-to-worst in the fixture.
+        assert selection.selected == ("s0",)
+
+    def test_truths_follow_selected_source(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        selection = select_best_source(dataset)
+        chosen = dataset.source_index(selection.selected[0])
+        x = dataset.property_observations("x")
+        np.testing.assert_allclose(
+            selection.result.truths.column("x"), x.values[chosen]
+        )
+
+
+class TestTopJ:
+    def test_selects_j(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        selection = select_top_j_sources(dataset, j=2)
+        assert selection.n_selected == 2
+        assert set(selection.selected) == {"s0", "s1"}
+
+    def test_binary_weights(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        selection = select_top_j_sources(dataset, j=3)
+        assert set(np.unique(selection.result.weights)) <= {0.0, 1.0}
+        assert selection.result.weights.sum() == 3
+
+    def test_top_j_accuracy_reasonable(self, synthetic_workload):
+        dataset, truth = synthetic_workload
+        selection = select_top_j_sources(dataset, j=3)
+        assert error_rate(selection.result.truths, truth) < 0.15
+
+
+class TestBudget:
+    def test_respects_budget(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        costs = [5.0, 1.0, 1.0, 1.0, 1.0]
+        selection = select_under_budget(dataset, costs, budget=3.0)
+        total = sum(costs[dataset.source_index(s)]
+                    for s in selection.selected)
+        assert total <= 3.0
+        assert selection.n_selected >= 1
+
+    def test_prefers_cheap_reliable(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        # s0 (the best source) is cheap: it must be admitted.
+        costs = [1.0, 10.0, 10.0, 10.0, 10.0]
+        selection = select_under_budget(dataset, costs, budget=2.0)
+        assert "s0" in selection.selected
+
+    def test_invalid_inputs(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        with pytest.raises(ValueError, match="positive"):
+            select_under_budget(dataset, [0.0] * 5, budget=1.0)
+        with pytest.raises(ValueError, match="no source"):
+            select_under_budget(dataset, [2.0] * 5, budget=1.0)
+        with pytest.raises(ValueError, match="costs shape"):
+            select_under_budget(dataset, [1.0] * 3, budget=1.0)

@@ -1,0 +1,242 @@
+"""Tests for the CRH solver (Algorithm 1): correctness, convergence,
+missing values, and the paper's qualitative claims on small data."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CRHConfig,
+    CRHSolver,
+    ExponentialWeights,
+    crh,
+)
+from repro.data import DatasetBuilder, DatasetSchema, categorical, continuous
+from repro.metrics import error_rate, mnad
+from tests.conftest import make_synthetic
+
+
+class TestBasicOperation:
+    def test_returns_aligned_result(self, tiny_dataset):
+        result = crh(tiny_dataset)
+        assert result.method == "CRH"
+        assert result.truths.object_ids == tiny_dataset.object_ids
+        assert result.source_ids == tiny_dataset.source_ids
+        assert result.weights.shape == (3,)
+        assert result.iterations >= 1
+        assert result.objective_history
+
+    def test_good_sources_outweigh_bad(self, tiny_dataset):
+        result = crh(tiny_dataset)
+        weights = result.weights_by_source()
+        assert weights["a"] > weights["c"]
+        assert weights["b"] > weights["c"]
+
+    def test_truths_near_good_sources(self, tiny_dataset, tiny_truth):
+        result = crh(tiny_dataset)
+        assert error_rate(result.truths, tiny_truth) == 0.0
+        assert mnad(result.truths, tiny_truth) < 0.5
+
+    def test_deterministic(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        first = crh(dataset)
+        second = crh(dataset)
+        np.testing.assert_array_equal(first.weights, second.weights)
+        for a, b in zip(first.truths.columns, second.truths.columns):
+            np.testing.assert_array_equal(a, b)
+
+    def test_recovers_synthetic_truth(self, synthetic_workload):
+        dataset, truth = synthetic_workload
+        result = crh(dataset)
+        assert error_rate(result.truths, truth) <= 0.05
+        assert mnad(result.truths, truth) < 0.15
+
+    def test_weight_ordering_matches_source_quality(self,
+                                                    synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = crh(dataset)
+        # Sources are constructed best-to-worst.
+        assert (np.diff(result.weights) <= 1e-9).all()
+
+
+class TestConfiguration:
+    def test_with_overrides(self):
+        config = CRHConfig().with_(max_iterations=5, tol=1e-3)
+        assert config.max_iterations == 5
+        assert config.tol == 1e-3
+        assert CRHConfig().max_iterations != 5
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(ValueError):
+            CRHConfig(max_iterations=0)
+
+    def test_loss_selection(self, synthetic_workload):
+        dataset, truth = synthetic_workload
+        for cat_loss in ("zero_one", "probability"):
+            for cont_loss in ("absolute", "squared"):
+                result = crh(dataset, categorical_loss=cat_loss,
+                             continuous_loss=cont_loss)
+                assert error_rate(result.truths, truth) <= 0.10
+
+    def test_wrong_kind_loss_rejected(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        with pytest.raises((KeyError, ValueError)):
+            crh(dataset, categorical_loss="absolute")
+
+    def test_max_iterations_respected(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = crh(dataset, max_iterations=2, tol=0.0)
+        assert result.iterations == 2
+        assert not result.converged
+
+    def test_random_initializer_seeded(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        first = crh(dataset, initializer="random", seed=9)
+        second = crh(dataset, initializer="random", seed=9)
+        np.testing.assert_array_equal(first.weights, second.weights)
+
+
+class TestConvergence:
+    def test_converges_quickly(self, synthetic_workload):
+        dataset, _ = synthetic_workload
+        result = crh(dataset)
+        assert result.converged
+        assert result.iterations <= 25
+
+    def test_objective_monotone_for_convex_pair_sum_normalizer(self):
+        """With the Bregman pair (probability + squared) and the exact
+        Eq. 5 (sum) normalizer, the objective is non-increasing from the
+        second iteration on — the convergence argument of Section 2.5."""
+        dataset, _ = make_synthetic(n_objects=80, seed=3)
+        result = crh(
+            dataset,
+            categorical_loss="probability",
+            continuous_loss="squared",
+            weight_scheme=ExponentialWeights("sum"),
+            max_iterations=30,
+            tol=0.0,
+        )
+        history = np.array(result.objective_history)
+        assert (np.diff(history[1:]) <= 1e-9).all()
+
+    def test_large_first_drop(self):
+        """Section 2.5: the first iterations incur a large decrease."""
+        dataset, _ = make_synthetic(n_objects=80, sigmas=(0.5, 8.0, 8.0,
+                                                          8.0, 8.0),
+                                    flips=(0.02, 0.6, 0.6, 0.6, 0.6),
+                                    seed=4)
+        result = crh(
+            dataset,
+            categorical_loss="probability",
+            continuous_loss="squared",
+            weight_scheme=ExponentialWeights("sum"),
+            max_iterations=30,
+            tol=0.0,
+        )
+        history = result.objective_history
+        assert history[-1] <= history[1]
+
+
+class TestMissingValues:
+    def test_sparse_sources_not_overrated(self):
+        """A source with few observations must be count-normalized
+        (Section 2.5), not rewarded for claiming little."""
+        schema = DatasetSchema.of(continuous("x"))
+        rng = np.random.default_rng(7)
+        builder = DatasetBuilder(schema)
+        true_x = rng.normal(0, 10, 50)
+        sigmas = {"good-1": 0.5, "good-2": 0.7, "mid-1": 2.0, "mid-2": 2.5}
+        for i in range(50):
+            for source, sigma in sigmas.items():
+                builder.add(f"o{i}", source, "x",
+                            float(true_x[i] + rng.normal(0, sigma)))
+        # sparse-bad claims only 5 entries, wildly wrong.
+        for i in range(5):
+            builder.add(f"o{i}", "sparse-bad", "x",
+                        float(true_x[i] + rng.normal(0, 8.0)))
+        dataset = builder.build()
+        result = crh(dataset)
+        weights = result.weights_by_source()
+        assert weights["good-1"] > weights["sparse-bad"]
+        assert weights["good-2"] > weights["sparse-bad"]
+
+    def test_handles_heavy_missingness(self):
+        dataset, truth = make_synthetic(n_objects=80, seed=5)
+        rng = np.random.default_rng(11)
+        for prop in dataset.properties:
+            drop = rng.random(prop.values.shape) < 0.4
+            if prop.schema.is_categorical:
+                prop.values[drop] = -1
+            else:
+                prop.values[drop] = np.nan
+        result = crh(dataset)
+        assert error_rate(result.truths, truth) < 0.25
+
+    def test_entry_with_single_claim(self):
+        schema = DatasetSchema.of(continuous("x"), categorical("c"))
+        builder = DatasetBuilder(schema)
+        builder.add("o1", "a", "x", 5.0)
+        builder.add("o1", "b", "x", 6.0)
+        builder.add("o2", "a", "x", 9.0)  # only source a sees o2
+        builder.add("o1", "a", "c", "u")
+        builder.add("o1", "b", "c", "v")
+        builder.add("o2", "b", "c", "u")
+        dataset = builder.build()
+        result = crh(dataset)
+        assert result.truths.value("o2", "x") == 9.0
+        assert result.truths.value("o2", "c") == "u"
+
+
+class TestPaperClaims:
+    def test_joint_beats_separate(self):
+        """The paper's core claim: jointly estimating weights from both
+        data types beats per-type estimation when one type is sparse."""
+        from repro.data.schema import PropertyKind
+        rng = np.random.default_rng(13)
+        dataset, truth = make_synthetic(n_objects=150, seed=13)
+        # Make categorical observations scarce: drop 70%.
+        cat = dataset.property_observations("c")
+        cat.values[rng.random(cat.values.shape) < 0.7] = -1
+        joint = crh(dataset)
+        separate = crh(dataset.restrict_kind(PropertyKind.CATEGORICAL))
+        joint_err = error_rate(joint.truths, truth)
+        separate_err = error_rate(
+            separate.truths, truth.restrict_kind(PropertyKind.CATEGORICAL)
+        )
+        assert joint_err <= separate_err
+
+    def test_reliable_minority_beats_voting(self):
+        """One reliable source against biased unreliable majority."""
+        schema = DatasetSchema.of(continuous("x"), categorical("c"))
+        rng = np.random.default_rng(17)
+        labels = ["a", "b", "c"]
+        builder = DatasetBuilder(schema)
+        true_c = rng.integers(0, 3, 120)
+        true_x = rng.normal(0, 5, 120)
+        for i in range(120):
+            builder.add(f"o{i}", "good", "x",
+                        float(true_x[i] + rng.normal(0, 0.2)))
+            builder.add(f"o{i}", "good", "c", labels[int(true_c[i])])
+            # Two bad sources that agree on a wrong value 60% of the time.
+            wrong = labels[(int(true_c[i]) + 1) % 3]
+            for bad in ("bad1", "bad2"):
+                builder.add(f"o{i}", bad, "x",
+                            float(true_x[i] + rng.normal(0, 6.0)))
+                claim = wrong if rng.random() < 0.6 \
+                    else labels[int(true_c[i])]
+                builder.add(f"o{i}", bad, "c", claim)
+        dataset = builder.build()
+        truth = None  # reconstruct below with the dataset's codec
+        from repro.data import TruthTable
+        truth = TruthTable.from_labels(
+            schema, dataset.object_ids,
+            {"x": true_x.tolist(),
+             "c": [labels[int(v)] for v in true_c]},
+            codecs=dataset.codecs(),
+        )
+        from repro.baselines import resolver_by_name
+        crh_err = error_rate(crh(dataset).truths, truth)
+        vote_err = error_rate(
+            resolver_by_name("Voting").fit(dataset).truths, truth
+        )
+        assert crh_err < vote_err
+        assert crh_err < 0.1

@@ -1,0 +1,176 @@
+"""Unit tests for datasets, truth tables and the builder."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MISSING_CODE,
+    DatasetBuilder,
+    DatasetSchema,
+    PropertyKind,
+    TruthTable,
+    categorical,
+    continuous,
+    iter_entries,
+)
+
+
+class TestDatasetBuilder:
+    def test_shapes(self, tiny_dataset):
+        assert tiny_dataset.n_objects == 5
+        assert tiny_dataset.n_sources == 3
+        assert tiny_dataset.n_properties == 3
+        assert tiny_dataset.n_observations() == 5 * 3 * 3
+        assert tiny_dataset.n_entries() == 5 * 3
+
+    def test_values_stored(self, tiny_dataset):
+        temp = tiny_dataset.property_observations("temp")
+        i = tiny_dataset.object_index("o1")
+        k = tiny_dataset.source_index("c")
+        assert temp.values[k, i] == 55.0
+        cond = tiny_dataset.property_observations("condition")
+        assert cond.codec.decode(int(cond.values[k, i])) == "rain"
+
+    def test_missing_cells(self, mixed_schema):
+        builder = DatasetBuilder(mixed_schema)
+        builder.add("o1", "a", "temp", 70.0)
+        builder.add("o2", "a", "condition", "rain")
+        builder.add("o2", "b", "temp", 60.0)
+        dataset = builder.build()
+        temp = dataset.property_observations("temp")
+        assert np.isnan(temp.values[dataset.source_index("a"),
+                                    dataset.object_index("o2")])
+        cond = dataset.property_observations("condition")
+        assert cond.values[dataset.source_index("b"),
+                           dataset.object_index("o2")] == MISSING_CODE
+        assert dataset.n_observations() == 3
+
+    def test_none_values_skipped(self, mixed_schema):
+        builder = DatasetBuilder(mixed_schema)
+        builder.add("o1", "a", "temp", 70.0)
+        builder.add("o1", "a", "humidity", None)
+        dataset = builder.build()
+        assert dataset.n_observations() == 1
+
+    def test_duplicate_overwrites(self, mixed_schema):
+        builder = DatasetBuilder(mixed_schema)
+        builder.add("o1", "a", "temp", 70.0)
+        builder.add("o1", "a", "temp", 75.0)
+        dataset = builder.build()
+        assert dataset.property_observations("temp").values[0, 0] == 75.0
+
+    def test_empty_builder_rejected(self, mixed_schema):
+        with pytest.raises(ValueError, match="no observations"):
+            DatasetBuilder(mixed_schema).build()
+
+    def test_closed_domain_enforced(self, mixed_schema):
+        builder = DatasetBuilder(mixed_schema)
+        with pytest.raises(KeyError, match="outside closed domain"):
+            builder.add("o1", "a", "condition", "hail")
+
+    def test_timestamps(self, mixed_schema):
+        builder = DatasetBuilder(mixed_schema)
+        builder.add("o1", "a", "temp", 70.0, timestamp=3)
+        builder.add("o2", "a", "temp", 71.0, timestamp=5)
+        dataset = builder.build()
+        assert dataset.object_timestamps.tolist() == [3, 5]
+
+
+class TestDatasetViews:
+    def test_select_objects(self, tiny_dataset):
+        view = tiny_dataset.select_objects(np.array([0, 2]))
+        assert view.object_ids == ("o1", "o3")
+        assert view.n_sources == tiny_dataset.n_sources
+        original = tiny_dataset.property_observations("temp").values[:, 2]
+        np.testing.assert_array_equal(
+            view.property_observations("temp").values[:, 1], original
+        )
+
+    def test_select_sources(self, tiny_dataset):
+        view = tiny_dataset.select_sources(np.array([1]))
+        assert view.source_ids == ("b",)
+        assert view.n_objects == tiny_dataset.n_objects
+
+    def test_restrict_kind(self, tiny_dataset):
+        cont = tiny_dataset.restrict_kind(PropertyKind.CONTINUOUS)
+        assert cont.schema.names() == ("temp", "humidity")
+        cat = tiny_dataset.restrict_kind(PropertyKind.CATEGORICAL)
+        assert cat.schema.names() == ("condition",)
+        # Views share the underlying arrays with the parent.
+        assert cat.properties[0].values is \
+            tiny_dataset.property_observations("condition").values
+
+    def test_iter_entries(self, tiny_dataset):
+        entries = list(iter_entries(tiny_dataset))
+        assert len(entries) == tiny_dataset.n_entries()
+        assert (0, 0) in entries
+
+    def test_shape_mismatch_rejected(self, tiny_dataset):
+        from repro.data.table import MultiSourceDataset
+        with pytest.raises(ValueError, match="shape"):
+            MultiSourceDataset(
+                schema=tiny_dataset.schema,
+                source_ids=tiny_dataset.source_ids,
+                object_ids=tiny_dataset.object_ids[:-1],
+                properties=tiny_dataset.properties,
+            )
+
+
+class TestTruthTable:
+    def test_from_labels_roundtrip(self, tiny_truth):
+        assert tiny_truth.value("o1", "condition") == "sunny"
+        assert tiny_truth.value("o4", "temp") == pytest.approx(60.5)
+        labels = tiny_truth.to_labels()
+        assert labels["condition"][0] == "sunny"
+
+    def test_n_truths_counts_labeled_entries(self, mixed_schema):
+        truth = TruthTable.from_labels(
+            mixed_schema, ["o1", "o2"],
+            {
+                "temp": [70.0, float("nan")],
+                "humidity": [0.5, 0.6],
+                "condition": ["sunny", None],
+            },
+        )
+        assert truth.n_truths() == 4
+        assert truth.value("o2", "temp") is None
+        assert truth.value("o2", "condition") is None
+
+    def test_unclaimed_truth_label_learned(self, tiny_dataset):
+        """A truth label no source claimed still encodes correctly."""
+        schema = DatasetSchema.of(categorical("c"))
+        builder = DatasetBuilder(schema)
+        builder.add("o1", "s1", "c", "seen")
+        dataset = builder.build()
+        truth = TruthTable.from_labels(
+            schema, dataset.object_ids, {"c": ["never-claimed"]},
+            codecs=dataset.codecs(),
+        )
+        assert truth.value("o1", "c") == "never-claimed"
+
+    def test_select_objects(self, tiny_truth):
+        sub = tiny_truth.select_objects(np.array([1, 3]))
+        assert sub.object_ids == ("o2", "o4")
+        assert sub.value("o4", "condition") == "rain"
+
+    def test_restrict_kind(self, tiny_truth):
+        cont = tiny_truth.restrict_kind(PropertyKind.CONTINUOUS)
+        assert cont.schema.names() == ("temp", "humidity")
+
+    def test_misaligned_columns_rejected(self, mixed_schema):
+        with pytest.raises(ValueError, match="values for"):
+            TruthTable.from_labels(
+                mixed_schema, ["o1", "o2"],
+                {"temp": [1.0], "humidity": [0.5, 0.6],
+                 "condition": ["sunny", "rain"]},
+            )
+
+    def test_missing_codec_rejected(self, mixed_schema):
+        with pytest.raises(ValueError, match="missing codec"):
+            TruthTable(
+                schema=mixed_schema,
+                object_ids=["o1"],
+                columns=[np.array([1.0]), np.array([0.5]),
+                         np.array([0], dtype=np.int32)],
+                codecs={},
+            )

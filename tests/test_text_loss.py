@@ -1,0 +1,212 @@
+"""Tests for the text data type and the edit-distance loss."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import crh
+from repro.core.text_loss import (
+    EditDistanceLoss,
+    levenshtein,
+    normalized_edit_distance,
+)
+from repro.data import DatasetBuilder, DatasetSchema, TruthTable, text
+from repro.data.schema import PropertyKind, continuous
+from repro.metrics import error_rate
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("a, b, expected", [
+        ("", "", 0),
+        ("abc", "abc", 0),
+        ("abc", "", 3),
+        ("", "xy", 2),
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("saturday", "sunday", 3),
+        ("a", "b", 1),
+    ])
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_normalized_range(self):
+        assert normalized_edit_distance("", "") == 0.0
+        assert normalized_edit_distance("abc", "abc") == 0.0
+        assert normalized_edit_distance("abc", "xyz") == 1.0
+        assert 0 < normalized_edit_distance("color", "colour") < 1
+
+
+@given(st.text(max_size=12), st.text(max_size=12))
+def test_levenshtein_symmetric(a, b):
+    assert levenshtein(a, b) == levenshtein(b, a)
+
+
+@given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+@given(st.text(max_size=12), st.text(max_size=12))
+def test_levenshtein_bounds(a, b):
+    d = levenshtein(a, b)
+    assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+def make_text_dataset(seed=0, n_objects=40):
+    """Conflicting name strings: good sources report the canonical name,
+    bad sources misspell it in correlated or uncorrelated ways."""
+    rng = np.random.default_rng(seed)
+    names = [
+        "john smith", "jane doe", "acme corporation", "new york",
+        "mississippi", "international business machines",
+    ]
+    schema = DatasetSchema.of(text("name"), continuous("score"))
+    builder = DatasetBuilder(schema)
+    truths = []
+    for i in range(n_objects):
+        canonical = names[i % len(names)]
+        truths.append(canonical)
+        score = float(rng.normal(50, 10))
+        # Three clean sources so no single source can dominate the
+        # medoid outright (the small-K collapse documented in
+        # EXPERIMENTS.md).
+        for source, (typo_rate, sigma) in {
+            "clean-1": (0.05, 0.5), "clean-2": (0.08, 0.8),
+            "clean-3": (0.10, 1.0),
+            "messy-1": (0.60, 5.0), "messy-2": (0.70, 6.0),
+        }.items():
+            value = canonical
+            if rng.random() < typo_rate:
+                pos = int(rng.integers(0, len(canonical)))
+                value = canonical[:pos] + "x" + canonical[pos + 1:]
+            builder.add(f"o{i}", source, "name", value)
+            builder.add(f"o{i}", source, "score",
+                        score + float(rng.normal(0, sigma)))
+    dataset = builder.build()
+    truth = TruthTable.from_labels(
+        schema, dataset.object_ids,
+        {"name": truths,
+         "score": [0.0] * n_objects},    # continuous truth unused here
+        codecs=dataset.codecs(),
+    )
+    return dataset, truth
+
+
+class TestTextDataType:
+    def test_schema_and_storage(self):
+        dataset, _ = make_text_dataset()
+        prop = dataset.property_observations("name")
+        assert prop.schema.kind is PropertyKind.TEXT
+        assert prop.schema.uses_codec
+        assert prop.codec is not None
+        assert np.issubdtype(prop.values.dtype, np.integer)
+
+    def test_records_roundtrip(self):
+        from repro.data import dataset_to_records, records_to_dataset
+        dataset, _ = make_text_dataset(n_objects=10)
+        rebuilt = records_to_dataset(dataset_to_records(dataset),
+                                     dataset.schema)
+        assert rebuilt.n_observations() == dataset.n_observations()
+
+    def test_csv_roundtrip(self, tmp_path):
+        from repro.data.io import read_records_csv, write_records_csv
+        dataset, _ = make_text_dataset(n_objects=10)
+        path = tmp_path / "text.csv"
+        write_records_csv(dataset, path)
+        loaded = read_records_csv(path, dataset.schema)
+        assert loaded.n_observations() == dataset.n_observations()
+        prop = loaded.property_observations("name")
+        assert "john smith" in prop.codec.labels
+
+
+class TestEditDistanceLoss:
+    def test_medoid_is_claimed_value(self):
+        dataset, _ = make_text_dataset()
+        loss = EditDistanceLoss()
+        prop = dataset.property_observations("name")
+        state = loss.update_truth(prop, np.ones(prop.n_sources))
+        for j in range(prop.n_objects):
+            claimed = set(prop.values[:, j][prop.values[:, j] >= 0])
+            assert int(state.column[j]) in claimed
+
+    def test_medoid_minimizes_weighted_distance(self):
+        dataset, _ = make_text_dataset(n_objects=12)
+        loss = EditDistanceLoss()
+        prop = dataset.property_observations("name")
+        weights = np.array([3.0, 2.0, 1.0, 0.5, 0.2])
+        state = loss.update_truth(prop, weights)
+        codec = prop.codec
+        for j in range(prop.n_objects):
+            claims = prop.values[:, j]
+            observed = claims >= 0
+
+            def cost(candidate_code: int) -> float:
+                return sum(
+                    w * normalized_edit_distance(
+                        str(codec.decode(int(candidate_code))),
+                        str(codec.decode(int(code))),
+                    )
+                    for code, w in zip(claims[observed], weights[observed])
+                )
+
+            best = cost(int(state.column[j]))
+            for candidate in np.unique(claims[observed]):
+                assert best <= cost(int(candidate)) + 1e-9
+
+    def test_deviation_is_normalized(self):
+        dataset, _ = make_text_dataset()
+        loss = EditDistanceLoss()
+        prop = dataset.property_observations("name")
+        state = loss.update_truth(prop, np.ones(prop.n_sources))
+        dev = loss.deviations(state, prop)
+        observed = ~np.isnan(dev)
+        assert (dev[observed] >= 0).all()
+        assert (dev[observed] <= 1).all()
+
+    def test_codec_binding_enforced(self):
+        a, _ = make_text_dataset(seed=0)
+        b, _ = make_text_dataset(seed=99)
+        loss = EditDistanceLoss()
+        prop_a = a.property_observations("name")
+        prop_b = b.property_observations("name")
+        loss.update_truth(prop_a, np.ones(prop_a.n_sources))
+        with pytest.raises(ValueError, match="bound to one property"):
+            loss.update_truth(prop_b, np.ones(prop_b.n_sources))
+
+
+class TestCRHOnText:
+    def test_joint_text_continuous_discovery(self):
+        dataset, truth = make_text_dataset(seed=1)
+        result = crh(dataset)
+        # Error rate on the text property only (exact string match).
+        from repro.data.schema import PropertyKind
+        text_truth = truth.restrict_kind(PropertyKind.TEXT)
+        text_est = result.truths.restrict_kind(PropertyKind.TEXT)
+        assert error_rate(text_est, text_truth) < 0.05
+        # Clean sources outweigh messy ones.
+        weights = result.weights_by_source()
+        assert weights["clean-1"] > weights["messy-2"]
+
+    def test_text_only_dataset(self):
+        dataset, truth = make_text_dataset(seed=2)
+        text_only = dataset.restrict_kind(PropertyKind.TEXT)
+        result = crh(text_only)
+        assert error_rate(
+            result.truths, truth.restrict_kind(PropertyKind.TEXT)
+        ) < 0.1
+
+    def test_voting_handles_text(self):
+        from repro.baselines import resolver_by_name
+        dataset, truth = make_text_dataset(seed=3)
+        result = resolver_by_name("Voting").fit(
+            dataset.restrict_kind(PropertyKind.TEXT)
+        )
+        assert result.truths.value(dataset.object_ids[0], "name") \
+            is not None
+
+    def test_parallel_crh_rejects_text(self):
+        from repro.parallel import parallel_crh
+        dataset, _ = make_text_dataset()
+        with pytest.raises(ValueError, match="does not support text"):
+            parallel_crh(dataset)

@@ -1,0 +1,95 @@
+"""Unit tests for dataset/truth validation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MISSING_CODE,
+    DatasetBuilder,
+    TruthTable,
+    ValidationError,
+    validate_dataset,
+    validate_truth_alignment,
+)
+from repro.data.encoding import CategoricalCodec
+
+
+class TestValidateDataset:
+    def test_clean_dataset_passes(self, tiny_dataset):
+        report = validate_dataset(tiny_dataset)
+        assert report.ok
+        assert not report.warnings
+
+    def test_bad_codes_detected(self, tiny_dataset):
+        cond = tiny_dataset.property_observations("condition")
+        cond.values[0, 0] = 99
+        report = validate_dataset(tiny_dataset)
+        assert not report.ok
+        assert "codec range" in report.errors[0]
+        with pytest.raises(ValidationError):
+            report.raise_if_failed()
+
+    def test_infinite_values_detected(self, tiny_dataset):
+        temp = tiny_dataset.property_observations("temp")
+        temp.values[1, 1] = np.inf
+        report = validate_dataset(tiny_dataset)
+        assert not report.ok
+        assert "infinite" in report.errors[0]
+
+    def test_silent_source_detected(self, mixed_schema):
+        builder = DatasetBuilder(mixed_schema)
+        builder.add("o1", "a", "temp", 1.0)
+        builder.add("o1", "b", "temp", 2.0)
+        dataset = builder.build()
+        # Silence source b by blanking its only observation.
+        dataset.property_observations("temp").values[1, 0] = np.nan
+        strict = validate_dataset(dataset)
+        assert not strict.ok
+        lenient = validate_dataset(dataset,
+                                   require_all_sources_active=False)
+        assert lenient.ok
+        assert lenient.warnings
+
+    def test_silent_object_detected(self, tiny_dataset):
+        for prop in tiny_dataset.properties:
+            if prop.schema.is_categorical:
+                prop.values[:, 0] = MISSING_CODE
+            else:
+                prop.values[:, 0] = np.nan
+        report = validate_dataset(tiny_dataset)
+        assert not report.ok
+        assert "no observations" in report.errors[0]
+
+
+class TestTruthAlignment:
+    def test_aligned(self, tiny_dataset, tiny_truth):
+        assert validate_truth_alignment(tiny_dataset, tiny_truth).ok
+
+    def test_object_mismatch(self, tiny_dataset, tiny_truth):
+        shuffled = tiny_truth.select_objects(np.array([1, 0, 2, 3, 4]))
+        report = validate_truth_alignment(tiny_dataset, shuffled)
+        assert not report.ok
+
+    def test_schema_mismatch(self, tiny_dataset, tiny_truth):
+        from repro.data.schema import PropertyKind
+        cont = tiny_truth.restrict_kind(PropertyKind.CONTINUOUS)
+        report = validate_truth_alignment(tiny_dataset, cont)
+        assert not report.ok
+        assert "schema mismatch" in report.errors[0]
+
+    def test_foreign_codec_with_conflicting_codes(self, tiny_dataset,
+                                                  mixed_schema):
+        # A truth table whose codec assigns "rain" a different code.
+        foreign = CategoricalCodec(["rain", "sunny", "cloudy"])
+        truth = TruthTable.from_labels(
+            mixed_schema, tiny_dataset.object_ids,
+            {
+                "temp": [1.0] * 5,
+                "humidity": [0.5] * 5,
+                "condition": ["rain"] * 5,
+            },
+            codecs={"condition": foreign},
+        )
+        report = validate_truth_alignment(tiny_dataset, truth)
+        assert not report.ok
+        assert "encodes differently" in report.errors[0]

@@ -1,0 +1,210 @@
+"""Unit + property-based tests for weighted aggregation primitives.
+
+The weighted median is the core of the paper's continuous truth update
+(Eq. 16), so it gets the heaviest property-based treatment: the Eq. 16
+mass conditions, the exact-minimizer property of Eq. 3 with absolute
+loss, and the scalar/vectorized agreement.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weighted_stats import (
+    column_std,
+    weighted_mean,
+    weighted_mean_columns,
+    weighted_median,
+    weighted_median_columns,
+    weighted_mode,
+    weighted_vote_columns,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+positive_weights = st.floats(min_value=0.0, max_value=1e3,
+                             allow_nan=False, allow_infinity=False)
+
+
+class TestWeightedMedianScalar:
+    def test_uniform_weights_is_median(self):
+        assert weighted_median([1, 2, 3, 4, 5], [1] * 5) == 3
+
+    def test_heavy_weight_dominates(self):
+        assert weighted_median([1, 2, 100], [1, 1, 10]) == 100
+
+    def test_paper_definition_example(self):
+        # weights below the median < W/2, weights above <= W/2
+        values = [10.0, 20.0, 30.0, 40.0]
+        weights = [1.0, 1.0, 1.0, 1.0]
+        assert weighted_median(values, weights) == 20.0
+
+    def test_zero_total_weight_falls_back(self):
+        assert weighted_median([5.0, 7.0, 9.0], [0, 0, 0]) == 7.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_median([1.0], [-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_median([], [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_median([1.0, 2.0], [1.0])
+
+
+@given(
+    st.lists(st.tuples(finite_floats, positive_weights),
+             min_size=1, max_size=30),
+)
+def test_median_is_a_claimed_value(pairs):
+    values = [p[0] for p in pairs]
+    weights = [p[1] for p in pairs]
+    assert weighted_median(values, weights) in values
+
+
+@given(
+    st.lists(st.tuples(finite_floats,
+                       st.floats(min_value=0.01, max_value=100)),
+             min_size=1, max_size=25),
+)
+def test_median_satisfies_eq16(pairs):
+    """Strictly-below mass < W/2 and strictly-above mass <= W/2."""
+    values = np.array([p[0] for p in pairs])
+    weights = np.array([p[1] for p in pairs])
+    median = weighted_median(values, weights)
+    total = weights.sum()
+    below = weights[values < median].sum()
+    above = weights[values > median].sum()
+    assert below < total / 2 + 1e-9
+    assert above <= total / 2 + 1e-9
+
+
+@given(
+    st.lists(st.tuples(st.floats(min_value=-100, max_value=100,
+                                 allow_nan=False),
+                       st.floats(min_value=0.01, max_value=10)),
+             min_size=1, max_size=15),
+)
+@settings(max_examples=50)
+def test_median_minimizes_weighted_absolute_loss(pairs):
+    """Eq. 3 with absolute loss: no claimed value beats the median."""
+    values = np.array([p[0] for p in pairs])
+    weights = np.array([p[1] for p in pairs])
+    median = weighted_median(values, weights)
+
+    def loss(candidate):
+        return float((weights * np.abs(values - candidate)).sum())
+
+    best = loss(median)
+    for candidate in values:
+        assert best <= loss(candidate) + 1e-6
+
+
+class TestWeightedMeanScalar:
+    def test_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == 2.0
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == 1.5
+
+    def test_zero_weights_fall_back(self):
+        assert weighted_mean([2.0, 4.0], [0.0, 0.0]) == 3.0
+
+
+class TestWeightedModeScalar:
+    def test_majority(self):
+        assert weighted_mode([0, 0, 1], [1, 1, 1]) == 0
+
+    def test_weighted_minority_wins(self):
+        assert weighted_mode([0, 0, 1], [1, 1, 5]) == 1
+
+    def test_tie_breaks_to_smallest_code(self):
+        assert weighted_mode([1, 0], [1.0, 1.0]) == 0
+
+    def test_negative_code_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mode([-1], [1.0])
+
+
+class TestColumnVersions:
+    def test_median_columns_match_scalar(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 10, (6, 40))
+        values[rng.random((6, 40)) < 0.3] = np.nan
+        weights = rng.uniform(0.1, 2.0, 6)
+        result = weighted_median_columns(values, weights)
+        for j in range(40):
+            observed = ~np.isnan(values[:, j])
+            if not observed.any():
+                assert np.isnan(result[j])
+                continue
+            expected = weighted_median(values[observed, j],
+                                       weights[observed])
+            assert result[j] == pytest.approx(expected)
+
+    def test_mean_columns_match_scalar(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 5, (4, 30))
+        values[rng.random((4, 30)) < 0.25] = np.nan
+        weights = rng.uniform(0.1, 3.0, 4)
+        result = weighted_mean_columns(values, weights)
+        for j in range(30):
+            observed = ~np.isnan(values[:, j])
+            expected = weighted_mean(values[observed, j], weights[observed])
+            assert result[j] == pytest.approx(expected)
+
+    def test_vote_columns_match_scalar(self):
+        rng = np.random.default_rng(2)
+        codes = rng.integers(0, 4, (5, 30)).astype(np.int32)
+        codes[rng.random((5, 30)) < 0.2] = -1
+        weights = rng.uniform(0.1, 2.0, 5)
+        result = weighted_vote_columns(codes, weights, n_categories=4)
+        for j in range(30):
+            observed = codes[:, j] >= 0
+            if not observed.any():
+                assert result[j] == -1
+                continue
+            expected = weighted_mode(codes[observed, j], weights[observed],
+                                     n_categories=4)
+            assert result[j] == expected
+
+    def test_all_missing_column(self):
+        values = np.full((3, 2), np.nan)
+        values[:, 0] = [1.0, 2.0, 3.0]
+        medians = weighted_median_columns(values, np.ones(3))
+        assert medians[0] == 2.0
+        assert np.isnan(medians[1])
+
+    def test_zero_weight_column_fallback(self):
+        values = np.array([[1.0, 5.0], [3.0, np.nan]])
+        weights = np.array([0.0, 0.0])
+        medians = weighted_median_columns(values, weights)
+        assert medians[0] in (1.0, 3.0)
+        assert medians[1] == 5.0
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_median_columns(np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            weighted_median_columns(np.ones((3, 2)), np.ones(2))
+        with pytest.raises(ValueError):
+            weighted_vote_columns(np.ones(3, dtype=np.int32), np.ones(3), 2)
+
+
+class TestColumnStd:
+    def test_basic(self):
+        values = np.array([[1.0, 10.0], [3.0, 10.0]])
+        std = column_std(values)
+        assert std[0] == pytest.approx(1.0)   # std of (1, 3)
+        assert std[1] == 1.0                  # unanimous -> fallback
+
+    def test_single_observation_falls_back(self):
+        values = np.array([[5.0], [np.nan]])
+        assert column_std(values)[0] == 1.0
+
+    def test_positive(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(0, 2, (5, 50))
+        assert (column_std(values) > 0).all()

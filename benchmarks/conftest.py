@@ -6,16 +6,31 @@ asserts the paper's qualitative shape — who wins, roughly by how much —
 so a passing benchmark run *is* the reproduction check.  Timings are
 single-shot (``rounds=1``): the workloads are deterministic and the
 interesting output is the table, not the harness's own latency.
+
+Set ``REPRO_TRACE=/path/to/trace.jsonl`` to append one ``benchmark``
+record per experiment run (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
+import time
+
+from repro.observability import benchmark_record, tracer_from_env
+
 
 def run_experiment(benchmark, runner, **kwargs):
     """Run an experiment once under pytest-benchmark and print its table."""
+    started = time.perf_counter()
     result = benchmark.pedantic(
         lambda: runner(**kwargs), rounds=1, iterations=1,
     )
+    seconds = time.perf_counter() - started
+    tracer = tracer_from_env()
+    if tracer is not None:
+        with tracer:
+            tracer.emit(benchmark_record(
+                getattr(runner, "__name__", str(runner)), seconds=seconds,
+            ))
     print()
     print(result.render())
     return result

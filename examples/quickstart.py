@@ -10,6 +10,7 @@ Run:  python examples/quickstart.py
 
 from repro import crh
 from repro.data import DatasetBuilder, DatasetSchema, categorical, continuous
+from repro.observability import MemoryTracer, RunReport
 
 # 1. Declare the schema: one continuous and one categorical property.
 schema = DatasetSchema.of(
@@ -56,3 +57,11 @@ for day in observations:
 print(f"\nConverged after {result.iterations} iterations "
       f"(objective history: "
       f"{[round(v, 4) for v in result.objective_history]})")
+
+# 4. Same run, traced: a structured record per iteration (see
+#    docs/OBSERVABILITY.md for the schema and metric glossary).
+tracer = MemoryTracer()
+crh(dataset, tracer=tracer)
+report = RunReport.from_records(tracer.records)
+print("\nTraced rerun:")
+print(report.summary())

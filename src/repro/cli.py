@@ -22,6 +22,8 @@ from pathlib import Path
 from typing import Callable
 
 from . import experiments as exp
+from .observability import JsonlTracer, RunReport, experiment_record
+from .observability.tracer import Tracer
 
 _EXPERIMENTS: dict[str, tuple[str, Callable[..., object]]] = {
     "table1": ("real-world dataset statistics", exp.run_table1),
@@ -83,11 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="also append rendered results to this file (markdown-ish)",
     )
+    parser.add_argument(
+        "--trace", type=Path, default=None,
+        help=("write a JSONL trace of the run to this file and print a "
+              "RunReport summary (see docs/OBSERVABILITY.md)"),
+    )
     return parser
 
 
 def _run_one(name: str, seed: int, scale: float,
-             output: Path | None) -> None:
+             output: Path | None, tracer: Tracer | None = None) -> None:
     description, runner = _EXPERIMENTS[name]
     print(f"== {name}: {description}")
     started = time.perf_counter()
@@ -104,6 +111,10 @@ def _run_one(name: str, seed: int, scale: float,
     print(rendered)
     elapsed = time.perf_counter() - started
     print(f"[{name} finished in {elapsed:.1f}s]\n")
+    if tracer is not None and tracer.enabled:
+        tracer.emit(experiment_record(
+            name, seed=seed, elapsed_seconds=elapsed,
+        ))
     if output is not None:
         with output.open("a") as handle:
             handle.write(f"## {name}: {description}\n\n```\n")
@@ -118,15 +129,23 @@ def main(argv: list[str] | None = None) -> int:
         for name, (description, _) in _EXPERIMENTS.items():
             print(f"{name:8s} {description}")
         return 0
-    if args.experiment == "all":
-        for name in _EXPERIMENTS:
-            _run_one(name, args.seed, args.scale, args.output)
-        return 0
-    if args.experiment not in _EXPERIMENTS:
+    if args.experiment not in _EXPERIMENTS and args.experiment != "all":
         print(f"unknown experiment {args.experiment!r}; "
               f"try 'crh-repro list'", file=sys.stderr)
         return 2
-    _run_one(args.experiment, args.seed, args.scale, args.output)
+    tracer = JsonlTracer(args.trace) if args.trace is not None else None
+    try:
+        if args.experiment == "all":
+            for name in _EXPERIMENTS:
+                _run_one(name, args.seed, args.scale, args.output, tracer)
+        else:
+            _run_one(args.experiment, args.seed, args.scale, args.output,
+                     tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.trace is not None:
+        print(RunReport.from_file(args.trace).summary())
     return 0
 
 

@@ -23,6 +23,8 @@ import numpy as np
 
 from ..data.schema import PropertyKind
 from ..data.table import MultiSourceDataset, TruthTable
+from ..observability import iteration_record, run_finished, run_started
+from ..observability.tracer import Tracer
 from .initialization import initializer_by_name
 from .losses import Loss, TruthState, loss_by_name
 from .objective import (
@@ -129,8 +131,17 @@ class CRHSolver:
         ]
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
-        """Run Algorithm 1 on ``dataset`` and return truths + weights."""
+    def fit(self, dataset: MultiSourceDataset,
+            tracer: Tracer | None = None) -> TruthDiscoveryResult:
+        """Run Algorithm 1 on ``dataset`` and return truths + weights.
+
+        Pass a :class:`~repro.observability.Tracer` to receive one
+        ``iteration`` record per loop pass (objective, weights, weight
+        delta, truth-change count, per-step wall time) bracketed by
+        ``run_start``/``run_end`` records.  With ``tracer=None`` (or a
+        ``NullTracer``) no record is ever constructed, so the untraced
+        hot path is unchanged.
+        """
         started = time.perf_counter()
         config = self.config
         options = config.deviation_options()
@@ -142,12 +153,26 @@ class CRHSolver:
         history: list[float] = []
         converged = False
         iterations = 0
+        tracing = tracer is not None and tracer.enabled
+        if tracing:
+            tracer.emit(run_started(
+                "CRH",
+                n_sources=dataset.n_sources,
+                n_objects=dataset.n_objects,
+                n_properties=len(dataset.schema),
+            ))
 
         for iterations in range(1, config.max_iterations + 1):
+            step_started = time.perf_counter() if tracing else 0.0
             # Step I (Eq. 2): weights from deviations under current truths.
             deviations = per_source_deviations(dataset, losses, states,
                                                options)
+            previous_weights = weights
             weights = config.weight_scheme.weights(deviations)
+            if tracing:
+                weight_seconds = time.perf_counter() - step_started
+                previous_states = states
+                step_started = time.perf_counter()
             # Step II (Eq. 3): per-entry truth update under fixed weights.
             states = [
                 loss.update_truth(prop, weights)
@@ -156,10 +181,29 @@ class CRHSolver:
             objective = objective_value(dataset, losses, states, weights,
                                         options)
             history.append(objective)
+            if tracing:
+                tracer.emit(iteration_record(
+                    iterations,
+                    objective=objective,
+                    weights=weights,
+                    weight_delta=float(
+                        np.abs(weights - previous_weights).max()
+                    ),
+                    truth_changes=_truth_change_count(previous_states,
+                                                      states),
+                    truth_seconds=time.perf_counter() - step_started,
+                    weight_seconds=weight_seconds,
+                ))
             if criterion.update(objective):
                 converged = True
                 break
 
+        if tracing:
+            tracer.emit(run_finished(
+                iterations=iterations,
+                converged=converged,
+                elapsed_seconds=time.perf_counter() - started,
+            ))
         truths = states_to_truth_table(dataset, states)
         return TruthDiscoveryResult(
             truths=truths,
@@ -171,6 +215,20 @@ class CRHSolver:
             objective_history=history,
             elapsed_seconds=time.perf_counter() - started,
         )
+
+
+def _truth_change_count(old_states: list[TruthState],
+                        new_states: list[TruthState]) -> int:
+    """Entries whose truth moved between two truth steps (NaN-stable)."""
+    changed = 0
+    for old, new in zip(old_states, new_states):
+        a = np.asarray(old.column)
+        b = np.asarray(new.column)
+        differs = a != b
+        if a.dtype.kind == "f":
+            differs &= ~(np.isnan(a) & np.isnan(b))
+        changed += int(np.count_nonzero(differs))
+    return changed
 
 
 def states_to_truth_table(dataset: MultiSourceDataset,
@@ -190,10 +248,12 @@ def states_to_truth_table(dataset: MultiSourceDataset,
     )
 
 
-def crh(dataset: MultiSourceDataset, **config_overrides) -> TruthDiscoveryResult:
-    """One-call CRH with optional config overrides.
+def crh(dataset: MultiSourceDataset, tracer: Tracer | None = None,
+        **config_overrides) -> TruthDiscoveryResult:
+    """One-call CRH with optional config overrides and tracing.
 
     >>> result = crh(dataset, continuous_loss="squared", max_iterations=20)
+    >>> result = crh(dataset, tracer=MemoryTracer())  # traced run
     """
     config = CRHConfig(**config_overrides) if config_overrides else CRHConfig()
-    return CRHSolver(config).fit(dataset)
+    return CRHSolver(config).fit(dataset, tracer=tracer)

@@ -15,9 +15,20 @@ in sorted order, at which the cumulative weight reaches ``W/2``.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
+
+
+def _reaches_half(mass: float, total: float) -> bool:
+    """Eq. 16's crossing test: has cumulative weight reached ``W/2``?
+
+    Both scalar medians route every crossing decision through this one
+    comparison on :func:`math.fsum`-exact masses, so ties at exactly
+    ``W/2`` resolve identically regardless of summation order.
+    """
+    return 2.0 * mass >= total
 
 
 def weighted_median(values: Sequence[float],
@@ -26,7 +37,9 @@ def weighted_median(values: Sequence[float],
 
     ``values`` and ``weights`` must be equal-length and non-empty with
     non-negative weights; zero-total weight falls back to the unweighted
-    median of the values.
+    median of the values.  Cumulative masses are evaluated with
+    :func:`math.fsum` (exactly rounded), so boundary ties at ``W/2`` do
+    not depend on summation order.
     """
     vals = np.asarray(values, dtype=np.float64)
     wts = np.asarray(weights, dtype=np.float64)
@@ -39,16 +52,23 @@ def weighted_median(values: Sequence[float],
         raise ValueError("weighted median of empty set")
     if (wts < 0).any():
         raise ValueError("weights must be non-negative")
-    total = wts.sum()
+    total = math.fsum(wts)
     if total <= 0:
         wts = np.ones_like(wts)
         total = float(vals.size)
     order = np.argsort(vals, kind="stable")
-    cumulative = np.cumsum(wts[order])
+    sorted_wts = wts[order]
     # First sorted position where cumulative weight reaches half the total:
     # below it the mass is < W/2, above it the mass is <= W/2 (Eq. 16).
-    j = int(np.searchsorted(cumulative, total / 2.0))
-    return float(vals[order][min(j, vals.size - 1)])
+    # The prefix mass is monotone in the position, so binary-search it.
+    lo, hi = 0, vals.size - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _reaches_half(math.fsum(sorted_wts[:mid + 1]), total):
+            hi = mid
+        else:
+            lo = mid + 1
+    return float(vals[order][lo])
 
 
 def weighted_median_select(values: Sequence[float],
@@ -57,12 +77,14 @@ def weighted_median_select(values: Sequence[float],
 
     This is the algorithm the paper's Eq. 16 cites ([Cormen et al.,
     Ch. 9]): partition around a pivot, recurse into the side holding the
-    weighted halfway point.  Expected O(n) versus the sort-based
-    O(n log n) of :func:`weighted_median`; both return the identical
-    value (property-tested).  The solver's hot path stays with the
-    vectorized sort-based version because numpy's sort beats a Python
-    quickselect at every realistic size — this function documents and
-    verifies the paper's referenced algorithm.
+    weighted halfway point; both functions return the identical value
+    (property-tested).  The crossing masses are recomputed over the full
+    input with :func:`math.fsum`, so every ``W/2`` decision is made on
+    the exactly rounded sum and agrees with :func:`weighted_median` even
+    when a cumulative weight lands exactly on ``W/2``.  The solver's hot
+    path stays with the vectorized sort-based version because numpy's
+    sort beats a Python quickselect at every realistic size — this
+    function documents and verifies the paper's referenced algorithm.
     """
     vals = np.asarray(values, dtype=np.float64)
     wts = np.asarray(weights, dtype=np.float64)
@@ -75,32 +97,29 @@ def weighted_median_select(values: Sequence[float],
         raise ValueError("weighted median of empty set")
     if (wts < 0).any():
         raise ValueError("weights must be non-negative")
-    if wts.sum() <= 0:
+    if math.fsum(wts) <= 0:
         wts = np.ones_like(wts)
-    target = wts.sum() / 2.0
+    total = math.fsum(wts)
     rng = np.random.default_rng(0)  # deterministic pivots
 
-    consumed = 0.0
+    candidates = vals
     while True:
-        if vals.size == 1:
-            return float(vals[0])
-        pivot = float(vals[rng.integers(0, vals.size)])
-        below = vals < pivot
-        equal = vals == pivot
-        above = vals > pivot
-        weight_below = consumed + wts[below].sum()
-        weight_at = weight_below + wts[equal].sum()
+        if candidates.size == 1:
+            return float(candidates[0])
+        pivot = float(candidates[rng.integers(0, candidates.size)])
+        mass_below = math.fsum(wts[vals < pivot])
+        mass_at = math.fsum(wts[vals <= pivot])
         # Eq. 16: the median is the first value where the cumulative
         # weight reaches half the total.
-        if weight_below >= target - 1e-12:
+        if _reaches_half(mass_below, total):
+            below = candidates < pivot
             if not below.any():
                 return pivot
-            vals, wts = vals[below], wts[below]
-        elif weight_at >= target - 1e-12:
+            candidates = candidates[below]
+        elif _reaches_half(mass_at, total):
             return pivot
         else:
-            consumed = weight_at
-            vals, wts = vals[above], wts[above]
+            candidates = candidates[candidates > pivot]
 
 
 def weighted_mean(values: Sequence[float],

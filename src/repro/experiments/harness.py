@@ -17,6 +17,8 @@ from ..baselines import PAPER_METHOD_ORDER, resolver_by_name
 from ..data.schema import PropertyKind
 from ..datasets.base import GeneratedData
 from ..metrics import error_rate, mnad
+from ..observability import method_run_record
+from ..observability.tracer import Tracer
 from .render import render_table
 
 
@@ -66,13 +68,18 @@ def run_method_table(
     workloads: dict[str, Callable[[int], GeneratedData]],
     methods: Sequence[str] = PAPER_METHOD_ORDER,
     seeds: Sequence[int] = (1, 2, 3),
+    tracer: Tracer | None = None,
 ) -> MethodTable:
     """Evaluate ``methods`` on each workload, averaging over ``seeds``.
 
     ``workloads`` maps a dataset name to a generator callable taking a
     seed.  Methods that cannot handle a data kind score ``None`` (the
-    paper's "NA") for that kind's measure.
+    paper's "NA") for that kind's measure.  With a
+    :class:`~repro.observability.Tracer`, every individual fit emits one
+    ``method_run`` record (dataset, method, seed, wall time, scores) —
+    the raw points behind the averaged table.
     """
+    tracing = tracer is not None and tracer.enabled
     table = MethodTable(title=title, dataset_names=tuple(workloads))
     for dataset_name, generate in workloads.items():
         per_method: dict[str, dict[str, list[float]]] = {
@@ -85,6 +92,7 @@ def run_method_table(
                 result = resolver.fit_timed(generated.dataset)
                 acc = per_method[method]
                 acc["sec"].append(result.elapsed_seconds)
+                rate = distance = None
                 if resolver.handles_kind(PropertyKind.CATEGORICAL):
                     rate = error_rate(result.truths, generated.truth)
                     if rate is not None:
@@ -93,6 +101,13 @@ def run_method_table(
                     distance = mnad(result.truths, generated.truth)
                     if distance is not None:
                         acc["mnad"].append(distance)
+                if tracing:
+                    tracer.emit(method_run_record(
+                        dataset_name, method, seed,
+                        elapsed_seconds=result.elapsed_seconds,
+                        error_rate=rate,
+                        mnad=distance,
+                    ))
         table.scores[dataset_name] = [
             MethodScore(
                 method=method,

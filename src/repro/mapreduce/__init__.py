@@ -14,7 +14,7 @@ keeps weights and truths in between jobs.
 """
 
 from .cost import ClusterCostModel, SimulatedClock
-from .engine import ClusterConfig, JobResult, LocalCluster
+from .engine import ClusterConfig, EngineCounters, JobResult, LocalCluster
 from .fs import SideFileStore
 from .job import JobStats, MapReduceJob
 from .partitioner import array_partition, hash_partition
@@ -30,6 +30,7 @@ from .vector import (
 __all__ = [
     "ClusterConfig",
     "ClusterCostModel",
+    "EngineCounters",
     "GroupedArrays",
     "JobResult",
     "JobStats",

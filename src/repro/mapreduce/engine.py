@@ -25,9 +25,62 @@ from itertools import groupby
 from operator import itemgetter
 from typing import Hashable, Sequence
 
+from ..observability import mapreduce_job_record
+from ..observability.tracer import Tracer
 from .cost import ClusterCostModel, SimulatedClock
 from .job import JobStats, MapReduceJob
 from .partitioner import hash_partition
+
+
+@dataclass
+class EngineCounters:
+    """Cumulative per-cluster execution counters (always collected).
+
+    These are a handful of integer adds per *job*, so they stay on even
+    without a tracer; traced runs additionally emit one
+    ``mapreduce_job`` record per job with the per-job breakdown.
+    """
+
+    jobs_run: int = 0
+    map_invocations: int = 0
+    reduce_invocations: int = 0
+    records_shuffled: int = 0
+
+    def charge(self, stats: JobStats, n_mappers: int,
+               n_reducers: int) -> None:
+        """Accumulate one finished job's volumes."""
+        self.jobs_run += 1
+        self.map_invocations += n_mappers
+        self.reduce_invocations += n_reducers
+        self.records_shuffled += stats.shuffled_records
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for ``run_end`` records)."""
+        return {
+            "jobs_run": self.jobs_run,
+            "map_invocations": self.map_invocations,
+            "reduce_invocations": self.reduce_invocations,
+            "shuffled_records": self.records_shuffled,
+        }
+
+
+def emit_job_record(tracer: Tracer | None, stats: JobStats,
+                    n_mappers: int, n_reducers: int,
+                    simulated_seconds: float) -> None:
+    """Emit one ``mapreduce_job`` trace record if tracing is enabled."""
+    if tracer is None or not tracer.enabled:
+        return
+    tracer.emit(mapreduce_job_record(
+        stats.job_name,
+        map_tasks=n_mappers,
+        reduce_tasks=n_reducers,
+        map_input_records=stats.map_input_records,
+        map_output_records=stats.map_output_records,
+        shuffled_records=stats.shuffled_records,
+        reduce_output_records=stats.reduce_output_records,
+        combiner_savings=stats.combiner_savings,
+        simulated_seconds=simulated_seconds,
+    ))
 
 
 @dataclass(frozen=True)
@@ -98,11 +151,19 @@ def _combine(job: MapReduceJob,
 
 
 class LocalCluster:
-    """Executes MapReduce jobs in-process with cluster-shaped dataflow."""
+    """Executes MapReduce jobs in-process with cluster-shaped dataflow.
 
-    def __init__(self, config: ClusterConfig | None = None) -> None:
+    Pass a :class:`~repro.observability.Tracer` to receive one
+    ``mapreduce_job`` record per executed job; :attr:`counters` always
+    accumulates cumulative task/shuffle totals across jobs.
+    """
+
+    def __init__(self, config: ClusterConfig | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.config = config or ClusterConfig()
         self.clock = SimulatedClock(model=self.config.cost_model)
+        self.tracer = tracer
+        self.counters = EngineCounters()
 
     def run(self, job: MapReduceJob,
             records: Sequence[tuple[Hashable, object]]) -> JobResult:
@@ -155,5 +216,8 @@ class LocalCluster:
         simulated = self.clock.charge(
             stats, config.n_mappers, config.n_reducers
         )
+        self.counters.charge(stats, config.n_mappers, config.n_reducers)
+        emit_job_record(self.tracer, stats, config.n_mappers,
+                        config.n_reducers, simulated)
         return JobResult(output=output, stats=stats,
                          simulated_seconds=simulated)

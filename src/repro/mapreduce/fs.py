@@ -32,6 +32,10 @@ class SideFileStore:
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+        #: total successful reads served (the paper's side-file traffic)
+        self.read_count = 0
+        #: total writes accepted
+        self.write_count = 0
 
     def _path(self, name: str) -> Path:
         return self._directory / f"{name}.npy"
@@ -51,6 +55,7 @@ class SideFileStore:
         else:
             self._files[name] = payload
         self._versions[name] = self._versions.get(name, 0) + 1
+        self.write_count += 1
         return self._versions[name]
 
     def read(self, name: str) -> np.ndarray:
@@ -62,14 +67,17 @@ class SideFileStore:
                     f"side file {name!r} does not exist in "
                     f"{self._directory}"
                 )
+            self.read_count += 1
             return np.load(path)
         try:
-            return self._files[name].copy()
+            payload = self._files[name].copy()
         except KeyError:
             raise FileNotFoundError(
                 f"side file {name!r} does not exist; "
                 f"available: {sorted(self._files)}"
             ) from None
+        self.read_count += 1
+        return payload
 
     def version(self, name: str) -> int:
         """Number of times ``name`` has been written (0 = never)."""

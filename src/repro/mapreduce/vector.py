@@ -21,8 +21,9 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from ..observability.tracer import Tracer
 from .cost import SimulatedClock
-from .engine import ClusterConfig
+from .engine import ClusterConfig, EngineCounters, emit_job_record
 from .job import JobStats
 from .partitioner import array_partition
 
@@ -139,11 +140,19 @@ class VectorJobResult:
 
 
 class VectorCluster:
-    """Columnar MapReduce executor sharing the cluster cost model."""
+    """Columnar MapReduce executor sharing the cluster cost model.
 
-    def __init__(self, config: ClusterConfig | None = None) -> None:
+    Like :class:`~repro.mapreduce.engine.LocalCluster`, accepts an
+    optional :class:`~repro.observability.Tracer` (one ``mapreduce_job``
+    record per job) and accumulates :attr:`counters` across jobs.
+    """
+
+    def __init__(self, config: ClusterConfig | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.config = config or ClusterConfig()
         self.clock = SimulatedClock(model=self.config.cost_model)
+        self.tracer = tracer
+        self.counters = EngineCounters()
 
     def run(self, job: VectorJob, records: KeyedArrays) -> VectorJobResult:
         """Execute one vector job over a columnar record batch."""
@@ -201,5 +210,8 @@ class VectorCluster:
         simulated = self.clock.charge(
             stats, config.n_mappers, config.n_reducers
         )
+        self.counters.charge(stats, config.n_mappers, config.n_reducers)
+        emit_job_record(self.tracer, stats, config.n_mappers,
+                        config.n_reducers, simulated)
         return VectorJobResult(output=output, stats=stats,
                                simulated_seconds=simulated)

@@ -1,0 +1,66 @@
+"""Observability for CRH runs: structured tracing and run reports.
+
+Every iterative code path in the repository — the in-memory
+:class:`~repro.core.solver.CRHSolver`, the MapReduce wrapper
+:func:`~repro.parallel.crh_mapreduce.parallel_crh`, and streaming
+:class:`~repro.streaming.icrh.IncrementalCRH` — accepts an optional
+``tracer`` and emits one structured record per unit of progress:
+per-iteration objective values (Eq. 1), per-source weights (Eq. 5),
+weight deltas, truth-change counts, and per-phase wall time, plus
+engine-level counters (map/reduce invocations, shuffled records,
+side-file reads, window advances, decay applications).
+
+Three tracer implementations cover the deployment spectrum:
+
+* :class:`NullTracer` — disabled; ``enabled`` is ``False`` so traced
+  code paths skip record construction entirely (allocation-free);
+* :class:`MemoryTracer` — records collected in a Python list, for tests
+  and interactive inspection;
+* :class:`JsonlTracer` — one JSON object per line to a file, the
+  interchange format (``python -m repro table2 --trace out.jsonl``).
+
+:class:`RunReport` aggregates a record stream back into convergence
+series, counter totals, and a human-readable ``summary()``.  The field
+glossary :data:`METRIC_FIELDS` maps every emitted field to its meaning
+and paper equation; ``docs/OBSERVABILITY.md`` renders it.
+"""
+
+from .records import (
+    METRIC_FIELDS,
+    SCHEMA_VERSION,
+    benchmark_record,
+    experiment_record,
+    iteration_record,
+    mapreduce_job_record,
+    method_run_record,
+    run_finished,
+    run_started,
+    stream_chunk_record,
+)
+from .report import RunReport
+from .tracer import (
+    JsonlTracer,
+    MemoryTracer,
+    NullTracer,
+    Tracer,
+    tracer_from_env,
+)
+
+__all__ = [
+    "JsonlTracer",
+    "METRIC_FIELDS",
+    "MemoryTracer",
+    "NullTracer",
+    "RunReport",
+    "SCHEMA_VERSION",
+    "Tracer",
+    "benchmark_record",
+    "experiment_record",
+    "iteration_record",
+    "mapreduce_job_record",
+    "method_run_record",
+    "run_finished",
+    "run_started",
+    "stream_chunk_record",
+    "tracer_from_env",
+]

@@ -1,0 +1,153 @@
+"""Tracer implementations: no-op, in-memory, and JSONL-file sinks.
+
+A tracer is anything with an ``enabled`` flag, an ``emit(record)``
+method, and a ``close()`` — the :class:`Tracer` protocol.  Traced code
+guards record *construction* behind ``tracer.enabled`` (or a ``tracer is
+None`` check), so a disabled tracer costs one attribute read per
+iteration and allocates nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """Structural interface every tracer satisfies.
+
+    ``enabled`` gates record construction in traced code; ``emit``
+    receives one flat JSON-compatible dict per event; ``close`` releases
+    any sink resources (a no-op for memory tracers).
+    """
+
+    enabled: bool
+
+    def emit(self, record: dict) -> None:
+        """Deliver one trace record to the sink."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release the sink (idempotent)."""
+        ...
+
+
+class NullTracer:
+    """The disabled tracer: accepts and discards everything.
+
+    ``enabled`` is ``False``, so instrumented code skips building
+    records at all — passing a ``NullTracer`` is exactly as cheap as
+    passing ``tracer=None``.
+    """
+
+    enabled = False
+
+    def emit(self, record: dict) -> None:
+        """Discard the record."""
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
+class MemoryTracer:
+    """Collects records in a list — the test/introspection tracer."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        """Append (a shallow copy of) the record to :attr:`records`."""
+        self.records.append(dict(record))
+
+    def close(self) -> None:
+        """No resources to release; records stay available."""
+
+    def events(self, event: str) -> list[dict]:
+        """All collected records with the given ``event`` type."""
+        return [r for r in self.records if r.get("event") == event]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _jsonable(value):
+    """JSON fallback for numpy scalars/arrays appearing in records."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(
+        f"trace record value of type {type(value).__name__} "
+        f"is not JSON-serializable"
+    )
+
+
+class JsonlTracer:
+    """Writes one JSON object per line to a file — the durable tracer.
+
+    Accepts a path (opened for writing; ``append=True`` to add to an
+    existing trace) or any open text handle.  Usable as a context
+    manager::
+
+        with JsonlTracer("run.jsonl") as tracer:
+            crh(dataset, tracer=tracer)
+    """
+
+    enabled = True
+
+    def __init__(self, sink: str | Path | IO[str],
+                 append: bool = False) -> None:
+        if hasattr(sink, "write"):
+            self._handle: IO[str] = sink  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            mode = "a" if append else "w"
+            self._handle = open(Path(sink), mode, encoding="utf-8")
+            self._owns_handle = True
+        self.emitted = 0
+
+    def emit(self, record: dict) -> None:
+        """Serialize the record as one JSON line and write it through."""
+        self._handle.write(json.dumps(record, default=_jsonable))
+        self._handle.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Flush, and close the handle if this tracer opened it."""
+        if self._owns_handle:
+            if not self._handle.closed:
+                self._handle.close()
+        else:
+            self._handle.flush()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(lines: Iterable[str]) -> list[dict]:
+    """Parse JSONL lines back into records, skipping blank lines."""
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def tracer_from_env(variable: str = "REPRO_TRACE") -> JsonlTracer | None:
+    """A :class:`JsonlTracer` appending to ``$REPRO_TRACE``, if set.
+
+    The benchmark harness and other non-CLI entry points call this so
+    ``REPRO_TRACE=out.jsonl pytest benchmarks/ ...`` collects one
+    combined trace without threading a flag through pytest.
+    Returns ``None`` when the variable is unset or empty.
+    """
+    path = os.environ.get(variable, "").strip()
+    if not path:
+        return None
+    return JsonlTracer(path, append=True)

@@ -29,6 +29,8 @@ import numpy as np
 from ..core.regularizers import ExponentialWeights, WeightScheme
 from ..data.encoding import MISSING_CODE
 from ..data.table import MultiSourceDataset, TruthTable
+from ..observability import iteration_record, run_finished, run_started
+from ..observability.tracer import Tracer
 from ..mapreduce.cost import ClusterCostModel
 from ..mapreduce.engine import ClusterConfig
 from ..mapreduce.fs import SideFileStore
@@ -246,14 +248,30 @@ def _segment_error_sums(grouped: GroupedArrays) -> KeyedArrays:
 
 def parallel_crh(dataset: MultiSourceDataset,
                  config: ParallelCRHConfig | None = None,
+                 tracer: Tracer | None = None,
                  ) -> ParallelCRHResult:
-    """Run CRH as iterated MapReduce jobs (the Section 2.7 wrapper)."""
+    """Run CRH as iterated MapReduce jobs (the Section 2.7 wrapper).
+
+    With a :class:`~repro.observability.Tracer`, the run emits one
+    ``mapreduce_job`` record per executed job (volumes + simulated
+    seconds), one ``iteration`` record per wrapper round (weights,
+    weight delta, per-phase wall time), and a ``run_end`` record
+    carrying the engine counter totals including side-file traffic.
+    """
     started = time.perf_counter()
     config = config or ParallelCRHConfig()
     batches = prepare_batches(dataset)
-    cluster = VectorCluster(config.cluster_config())
+    cluster = VectorCluster(config.cluster_config(), tracer=tracer)
     store = SideFileStore()
     log: list[JobLogEntry] = []
+    tracing = tracer is not None and tracer.enabled
+    if tracing:
+        tracer.emit(run_started(
+            "Parallel-CRH",
+            n_sources=dataset.n_sources,
+            n_objects=dataset.n_objects,
+            n_properties=len(dataset.schema),
+        ))
 
     def record(name: str, result) -> None:
         log.append(JobLogEntry(
@@ -345,6 +363,7 @@ def parallel_crh(dataset: MultiSourceDataset,
     iterations = 0
     converged = False
     for iterations in range(1, config.max_iterations + 1):
+        truth_started = time.perf_counter() if tracing else 0.0
         # --- truth computation (one job per data kind) -----------------
         if len(batches.continuous):
             result = cluster.run(truth_cont_job, batches.continuous)
@@ -356,6 +375,9 @@ def parallel_crh(dataset: MultiSourceDataset,
             record(truth_cat_job.name, result)
             truth_cat[result.output.keys] = result.output.values["truth"]
         store.write(_TRUTH_CAT_FILE, truth_cat)
+        if tracing:
+            truth_seconds = time.perf_counter() - truth_started
+            weight_started = time.perf_counter()
 
         # --- weight assignment -----------------------------------------
         result = cluster.run(weight_job, batches.combined)
@@ -371,10 +393,27 @@ def parallel_crh(dataset: MultiSourceDataset,
         store.write(_WEIGHTS_FILE, new_weights)
         delta = float(np.abs(new_weights - weights).max())
         weights = new_weights
+        if tracing:
+            tracer.emit(iteration_record(
+                iterations,
+                weights=weights,
+                weight_delta=delta,
+                truth_seconds=truth_seconds,
+                weight_seconds=time.perf_counter() - weight_started,
+            ))
         if delta < config.tol:
             converged = True
             break
 
+    if tracing:
+        tracer.emit(run_finished(
+            iterations=iterations,
+            converged=converged,
+            elapsed_seconds=time.perf_counter() - started,
+            side_file_reads=store.read_count,
+            side_file_writes=store.write_count,
+            **cluster.counters.as_dict(),
+        ))
     truths = _assemble_truths(dataset, batches, truth_cont, truth_cat)
     return ParallelCRHResult(
         truths=truths,

@@ -30,6 +30,8 @@ from ..core.solver import states_to_truth_table
 from ..data.encoding import MISSING_CODE
 from ..data.schema import PropertyKind
 from ..data.table import MultiSourceDataset, TruthTable
+from ..observability import run_finished, run_started, stream_chunk_record
+from ..observability.tracer import Tracer
 from .windows import StreamChunk, chunk_by_window
 
 
@@ -64,8 +66,10 @@ class IncrementalCRH:
     :func:`icrh` to run over a whole timestamped dataset at once.
     """
 
-    def __init__(self, config: ICRHConfig | None = None) -> None:
+    def __init__(self, config: ICRHConfig | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.config = config or ICRHConfig()
+        self.tracer = tracer
         self._source_ids: list = []
         self._source_index: dict = {}
         self._accumulated = np.zeros(0)
@@ -73,6 +77,10 @@ class IncrementalCRH:
         self._weights = np.zeros(0)
         self._chunks_seen = 0
         self._weight_history: list[np.ndarray] = []
+        #: stream windows consumed (one per partial_fit call)
+        self.window_advances = 0
+        #: times the decay factor was applied to accumulated history
+        self.decay_applications = 0
 
     # ------------------------------------------------------------------
     @property
@@ -144,8 +152,15 @@ class IncrementalCRH:
         accumulated distance and weight 1 (Algorithm 2 line 1), and
         sources absent from a chunk simply contribute nothing while
         their history keeps decaying.
+
+        When a tracer was given at construction, each call emits one
+        ``chunk`` record (weights, weight delta, arrival counters).
         """
+        tracing = self.tracer is not None and self.tracer.enabled
+        known_sources = len(self._source_ids)
         positions = self._positions_for(chunk)
+        new_sources = len(self._source_ids) - known_sources
+        previous_weights = self._weights.copy() if tracing else None
         weights_for_chunk = self._weights[positions]
 
         losses = self._losses_for(chunk)
@@ -162,6 +177,8 @@ class IncrementalCRH:
             chunk_dev += np.nansum(dev, axis=1)
             chunk_cnt += (~np.isnan(dev)).sum(axis=1)
         alpha = self.config.decay
+        if self._chunks_seen:
+            self.decay_applications += 1
         self._accumulated *= alpha
         self._counts *= alpha
         np.add.at(self._accumulated, positions, chunk_dev)
@@ -180,7 +197,21 @@ class IncrementalCRH:
         if unseen.any():
             self._weights = np.where(unseen, 1.0, self._weights)
         self._chunks_seen += 1
+        self.window_advances += 1
         self._weight_history.append(self._weights.copy())
+        if tracing:
+            self.tracer.emit(stream_chunk_record(
+                self._chunks_seen,
+                n_objects=chunk.n_objects,
+                n_sources=chunk.n_sources,
+                new_sources=new_sources,
+                weights=self._weights,
+                weight_delta=float(
+                    np.abs(self._weights - previous_weights).max()
+                ),
+                window_advances=self.window_advances,
+                decay_applications=self.decay_applications,
+            ))
         return states_to_truth_table(chunk, states)
 
 
@@ -204,15 +235,26 @@ class ICRHResult:
 
 
 def icrh(dataset: MultiSourceDataset, window: int = 1,
-         config: ICRHConfig | None = None) -> ICRHResult:
+         config: ICRHConfig | None = None,
+         tracer: Tracer | None = None) -> ICRHResult:
     """Run I-CRH over a timestamped dataset, chunking by time window.
 
     Returns the stitched truth table over all objects (aligned with
     ``dataset``), the final weights, and the per-chunk weight history.
+    With a tracer, emits ``run_start``, one ``chunk`` record per window,
+    and a ``run_end`` carrying the stream counters.
     """
     started = time.perf_counter()
     config = config or ICRHConfig()
-    model = IncrementalCRH(config)
+    model = IncrementalCRH(config, tracer=tracer)
+    tracing = tracer is not None and tracer.enabled
+    if tracing:
+        tracer.emit(run_started(
+            "I-CRH",
+            n_sources=dataset.n_sources,
+            n_objects=dataset.n_objects,
+            n_properties=len(dataset.schema),
+        ))
     columns: list[np.ndarray] = []
     for prop in dataset.schema:
         if prop.uses_codec:
@@ -233,6 +275,15 @@ def icrh(dataset: MultiSourceDataset, window: int = 1,
         columns=columns,
         codecs=dataset.codecs(),
     )
+    elapsed = time.perf_counter() - started
+    if tracing:
+        tracer.emit(run_finished(
+            iterations=model.chunks_seen,
+            converged=True,
+            elapsed_seconds=elapsed,
+            window_advances=model.window_advances,
+            decay_applications=model.decay_applications,
+        ))
     result = TruthDiscoveryResult(
         truths=truths,
         weights=model.weights,
@@ -240,7 +291,7 @@ def icrh(dataset: MultiSourceDataset, window: int = 1,
         method="I-CRH",
         iterations=model.chunks_seen,
         converged=True,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed,
     )
     return ICRHResult(
         result=result,

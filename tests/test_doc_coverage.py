@@ -2,12 +2,16 @@
 
 Walks every ``repro`` module, collects public classes/functions (plus
 public methods of public classes) defined in this package, and fails on
-the first one without documentation.
+the first one without documentation.  Also pins the trace-metric
+glossary: every field a trace record can carry must be documented in
+``docs/OBSERVABILITY.md``.
 """
 
 import importlib
 import inspect
 import pkgutil
+import re
+from pathlib import Path
 
 import pytest
 
@@ -81,3 +85,27 @@ def test_all_exports_resolve():
         missing = [name for name in exported
                    if not hasattr(module, name)]
         assert not missing, f"{module.__name__}.__all__ broken: {missing}"
+
+
+def test_observability_package_is_walked():
+    """The docstring gate must cover the tracing subsystem too — guard
+    against the walk silently skipping it (e.g. an import error)."""
+    walked = {module.__name__ for module in _iter_modules()}
+    assert {"repro.observability", "repro.observability.records",
+            "repro.observability.tracer",
+            "repro.observability.report"} <= walked
+
+
+def test_observability_doc_names_every_metric_field():
+    """``docs/OBSERVABILITY.md`` is the trace glossary of record: every
+    field a record constructor can emit must appear there (in
+    backticks, as markdown code)."""
+    from repro.observability import METRIC_FIELDS
+
+    text = (Path(__file__).resolve().parent.parent
+            / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    documented = set(re.findall(r"`([^`\n]+)`", text))
+    missing = sorted(set(METRIC_FIELDS) - documented)
+    assert not missing, (
+        f"metric fields absent from docs/OBSERVABILITY.md: {missing}"
+    )

@@ -1,0 +1,34 @@
+"""Smoke test: the quickstart example runs and prints what it promises.
+
+The README points new users at ``examples/quickstart.py`` first, so the
+suite executes it the same way a reader would (a fresh interpreter) and
+checks the landmark output lines, including the traced-rerun summary.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_quickstart_runs_clean():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "examples" / "quickstart.py")],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    assert "Estimated source reliability" in out
+    assert "Resolved truths" in out
+    assert "Converged after" in out
+    # the traced rerun prints a RunReport summary
+    assert "Traced rerun:" in out
+    assert "objective (Eq. 1):" in out

@@ -1,0 +1,296 @@
+"""The tracing subsystem: record emission, aggregation, and neutrality.
+
+Covers the acceptance properties of the observability layer: one record
+per iteration, trace/result agreement on the objective series, lossless
+JSONL round-trips, engine counters that actually count, and — most
+importantly — that tracing changes no numerical result and the disabled
+path stays out of the way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_synthetic
+from repro import crh
+from repro.core.regularizers import ExponentialWeights
+from repro.datasets import WeatherConfig, generate_weather_dataset
+from repro.experiments.harness import run_method_table
+from repro.observability import (
+    METRIC_FIELDS,
+    JsonlTracer,
+    MemoryTracer,
+    NullTracer,
+    RunReport,
+    Tracer,
+    run_finished,
+    tracer_from_env,
+)
+from repro.parallel import parallel_crh
+from repro.streaming import icrh
+
+
+@pytest.fixture()
+def workload():
+    return make_synthetic(n_objects=40, n_sources=4, seed=7)
+
+
+class TestSolverTracing:
+    def test_one_iteration_record_per_iteration(self, workload):
+        dataset, _ = workload
+        tracer = MemoryTracer()
+        result = crh(dataset, tracer=tracer)
+        report = RunReport.from_records(tracer.records)
+        iterations = report.iterations()
+        assert len(iterations) == result.iterations
+        assert [r["iteration"] for r in iterations] == list(
+            range(1, result.iterations + 1)
+        )
+        # exactly one run_start and one run_end envelope the iterations
+        assert len(report.events("run_start")) == 1
+        assert len(report.events("run_end")) == 1
+        assert len(tracer.records) == result.iterations + 2
+
+    def test_objective_series_matches_result_history(self, workload):
+        dataset, _ = workload
+        tracer = MemoryTracer()
+        result = crh(dataset, tracer=tracer)
+        series = RunReport.from_records(tracer.records).objective_series()
+        assert series == pytest.approx(result.objective_history)
+
+    def test_objective_series_non_increasing_for_convex_pair(self):
+        """On simulated data with the convex loss pair and the exact
+        Eq. 5 normalizer, the traced objective decreases monotonically
+        (from the second iteration, as in ``test_solver``)."""
+        dataset, _ = make_synthetic(n_objects=80, seed=3)
+        tracer = MemoryTracer()
+        result = crh(
+            dataset,
+            categorical_loss="probability",
+            continuous_loss="squared",
+            weight_scheme=ExponentialWeights("sum"),
+            max_iterations=30,
+            tol=0.0,
+            tracer=tracer,
+        )
+        series = RunReport.from_records(tracer.records).objective_series()
+        assert series == pytest.approx(result.objective_history)
+        assert (np.diff(np.array(series)[1:]) <= 1e-9).all()
+
+    def test_iteration_records_carry_phase_measurements(self, workload):
+        dataset, _ = workload
+        tracer = MemoryTracer()
+        crh(dataset, tracer=tracer)
+        for record in tracer.events("iteration"):
+            assert record["truth_seconds"] >= 0.0
+            assert record["weight_seconds"] >= 0.0
+            assert record["weight_delta"] >= 0.0
+            assert record["truth_changes"] >= 0
+            assert len(record["weights"]) == dataset.n_sources
+
+    def test_truth_changes_settle_to_zero_at_convergence(self, workload):
+        dataset, _ = workload
+        tracer = MemoryTracer()
+        result = crh(dataset, tracer=tracer)
+        if result.converged:
+            assert tracer.events("iteration")[-1]["truth_changes"] == 0
+
+
+class TestTracingNeutrality:
+    def test_null_tracer_and_none_give_identical_results(self, workload):
+        dataset, _ = workload
+        plain = crh(dataset)
+        nulled = crh(dataset, tracer=NullTracer())
+        traced_tracer = MemoryTracer()
+        traced = crh(dataset, tracer=traced_tracer)
+        for other in (nulled, traced):
+            np.testing.assert_array_equal(plain.weights, other.weights)
+            assert plain.iterations == other.iterations
+            assert plain.objective_history == pytest.approx(
+                other.objective_history
+            )
+        assert len(traced_tracer.records) > 0
+
+    def test_null_tracer_emits_nothing(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        tracer.emit({"event": "iteration"})  # accepted, dropped
+        tracer.close()
+
+    def test_parallel_results_unchanged_by_tracer(self, workload):
+        dataset, _ = workload
+        plain = parallel_crh(dataset)
+        traced = parallel_crh(dataset, tracer=MemoryTracer())
+        np.testing.assert_allclose(plain.weights, traced.weights)
+
+    def test_streaming_results_unchanged_by_tracer(self, small_weather):
+        plain = icrh(small_weather.dataset, window=1)
+        traced = icrh(small_weather.dataset, window=1,
+                      tracer=MemoryTracer())
+        np.testing.assert_allclose(plain.weights, traced.weights)
+
+
+class TestJsonlRoundTrip:
+    def test_file_round_trip(self, workload, tmp_path):
+        dataset, _ = workload
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            result = crh(dataset, tracer=tracer)
+        memory = MemoryTracer()
+        crh(dataset, tracer=memory)
+
+        def stable(records):  # wall-clock fields differ run to run
+            timing = ("truth_seconds", "weight_seconds",
+                      "elapsed_seconds")
+            return [{k: v for k, v in r.items() if k not in timing}
+                    for r in records]
+
+        report = RunReport.from_file(path)
+        assert stable(report.records) == stable(memory.records)
+        assert report.objective_series() == pytest.approx(
+            result.objective_history
+        )
+
+    def test_to_json_from_json_inverse(self, workload):
+        dataset, _ = workload
+        tracer = MemoryTracer()
+        crh(dataset, tracer=tracer)
+        report = RunReport.from_records(tracer.records)
+        again = RunReport.from_json(report.to_json())
+        assert again.records == report.records
+        assert again.to_json() == report.to_json()
+
+    def test_every_line_is_flat_json_with_envelope(self, workload, tmp_path):
+        dataset, _ = workload
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            crh(dataset, tracer=tracer)
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert record["v"] == 1
+            assert record["event"]
+
+    def test_every_emitted_field_is_in_the_glossary(self, workload,
+                                                    small_weather):
+        dataset, _ = workload
+        tracer = MemoryTracer()
+        crh(dataset, tracer=tracer)
+        parallel_crh(dataset, tracer=tracer)
+        icrh(small_weather.dataset, window=1, tracer=tracer)
+        unknown = {
+            field
+            for record in tracer.records for field in record
+        } - set(METRIC_FIELDS)
+        assert not unknown, f"undocumented trace fields: {sorted(unknown)}"
+
+
+class TestMapReduceCounters:
+    def test_counters_nonzero_on_small_run(self, workload):
+        dataset, _ = workload
+        tracer = MemoryTracer()
+        parallel_crh(dataset, tracer=tracer)
+        report = RunReport.from_records(tracer.records)
+        totals = report.counter_totals()
+        for counter in ("jobs_run", "map_invocations",
+                        "reduce_invocations", "shuffled_records",
+                        "side_file_reads", "side_file_writes"):
+            assert totals.get(counter, 0) > 0, counter
+        assert len(report.events("mapreduce_job")) == totals["jobs_run"]
+        assert report.simulated_seconds() > 0.0
+
+    def test_counter_totals_do_not_double_count_run_end(self, workload):
+        """Counters snapshot on ``run_end`` are running totals; the
+        report must not add the cumulative per-record values on top."""
+        dataset, _ = workload
+        tracer = MemoryTracer()
+        parallel_crh(dataset, tracer=tracer)
+        report = RunReport.from_records(tracer.records)
+        per_job = sum(r["shuffled_records"]
+                      for r in report.events("mapreduce_job"))
+        assert report.counter_totals()["shuffled_records"] == per_job
+
+
+class TestStreamingTracing:
+    def test_chunk_records_and_counters(self, small_weather):
+        tracer = MemoryTracer()
+        stream = icrh(small_weather.dataset, window=1, tracer=tracer)
+        report = RunReport.from_records(tracer.records)
+        chunks = report.chunks()
+        assert len(chunks) == stream.result.iterations
+        assert [r["chunk"] for r in chunks] == list(
+            range(1, len(chunks) + 1)
+        )
+        totals = report.counter_totals()
+        assert totals["window_advances"] == len(chunks)
+        # decay applies from the second chunk on (Algorithm 2 line 4)
+        assert totals["decay_applications"] == len(chunks) - 1
+
+    def test_first_chunk_reports_all_sources_as_new(self, small_weather):
+        tracer = MemoryTracer()
+        icrh(small_weather.dataset, window=1, tracer=tracer)
+        first = tracer.events("chunk")[0]
+        assert first["new_sources"] == first["n_sources"]
+
+
+class TestHarnessTracing:
+    def test_method_run_record_per_fit(self, workload):
+        dataset, truth = workload
+
+        class _Generated:
+            def __init__(self):
+                self.dataset = dataset
+                self.truth = truth
+
+        tracer = MemoryTracer()
+        run_method_table(
+            "traced", {"syn": lambda seed: _Generated()},
+            methods=("CRH", "Mean"), seeds=(1, 2), tracer=tracer,
+        )
+        runs = tracer.events("method_run")
+        assert len(runs) == 4  # 2 methods x 2 seeds
+        assert {r["method"] for r in runs} == {"CRH", "Mean"}
+        crh_runs = [r for r in runs if r["method"] == "CRH"]
+        assert all("error_rate" in r and "mnad" in r for r in crh_runs)
+
+
+class TestRecordsAndTracers:
+    def test_run_finished_rejects_undocumented_counters(self):
+        with pytest.raises(ValueError, match="undocumented"):
+            run_finished(iterations=1, not_a_counter=3)
+
+    def test_tracers_satisfy_protocol(self):
+        assert isinstance(NullTracer(), Tracer)
+        assert isinstance(MemoryTracer(), Tracer)
+
+    def test_tracer_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert tracer_from_env() is None
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        tracer = tracer_from_env()
+        assert tracer is not None
+        with tracer:
+            tracer.emit({"event": "benchmark", "v": 1})
+        # env tracers append so a session can accumulate one file
+        with tracer_from_env() as second:
+            second.emit({"event": "benchmark", "v": 1})
+        assert len(RunReport.from_file(path).records) == 2
+        assert "REPRO_TRACE" not in os.environ or True
+
+
+class TestCliTrace:
+    def test_cli_writes_trace_and_prints_summary(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "cli.jsonl"
+        code = main(["fig4", "--trace", str(path)])
+        assert code == 0
+        report = RunReport.from_file(path)
+        experiments = report.events("experiment")
+        assert [r["experiment"] for r in experiments] == ["fig4"]
+        out = capsys.readouterr().out
+        assert "experiments: fig4" in out

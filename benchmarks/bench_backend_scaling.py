@@ -1,0 +1,151 @@
+"""Dense vs sparse backend: peak memory and wall time at low density.
+
+The ISSUE's acceptance benchmark: on a 5%-density synthetic workload
+(K=50 sources, N=100k objects, 3 continuous properties) the sparse
+backend's peak memory must be at least 5x lower than the dense
+backend's, while both produce bit-identical results.
+
+Runs two ways:
+
+* under pytest-benchmark with the rest of the suite
+  (``pytest benchmarks/bench_backend_scaling.py``), or
+* as a plain script for CI smoke checks::
+
+      REPRO_BENCH_SMOKE=1 python benchmarks/bench_backend_scaling.py \
+          --backend sparse
+
+``REPRO_BENCH_SMOKE=1`` shrinks the object count (100k -> 5k) so the
+script finishes in seconds; the >= 5x assertion only applies at full
+scale, where the dense (K, N) materialization dominates.
+"""
+
+import argparse
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.solver import crh
+from repro.data import DatasetSchema, claims_from_arrays, continuous
+
+N_SOURCES = 50
+DENSITY = 0.05
+ITERATIONS = 5
+
+
+def _smoke() -> bool:
+    """True when CI asked for the shrunken smoke-mode workload."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _n_objects() -> int:
+    """Workload size: 100k objects at full scale, 5k in smoke mode."""
+    return 5_000 if _smoke() else 100_000
+
+
+def build_workload(seed: int = 0):
+    """Synthesize the 5%-density claims matrix without dense allocation."""
+    rng = np.random.default_rng(seed)
+    k, n = N_SOURCES, _n_objects()
+    schema = DatasetSchema.of(
+        continuous("p0"), continuous("p1"), continuous("p2")
+    )
+    target = int(k * n * DENSITY)
+    columns = {}
+    for m, name in enumerate(schema.names()):
+        cells = np.unique(
+            rng.integers(0, k * n, int(target * 1.2), dtype=np.int64)
+        )[:target]
+        columns[name] = (
+            rng.normal(float(m), 1.0, len(cells)),
+            (cells // n).astype(np.int32),
+            (cells % n).astype(np.int32),
+        )
+    return claims_from_arrays(
+        schema,
+        source_ids=[f"s{i}" for i in range(k)],
+        object_ids=np.arange(n),
+        columns=columns,
+    )
+
+
+def measure(dataset, backend: str):
+    """Run CRH on ``backend``; return (result, peak_bytes, seconds)."""
+    tracemalloc.start()
+    started = time.perf_counter()
+    try:
+        result = crh(dataset, backend=backend, max_iterations=ITERATIONS)
+        seconds = time.perf_counter() - started
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak, seconds
+
+
+def render_row(backend: str, peak: int, seconds: float) -> str:
+    """One aligned table line for the comparison printout."""
+    return f"  {backend:<8} {peak / 2**20:>10.1f} MiB {seconds:>8.2f} s"
+
+
+def run_comparison() -> dict:
+    """Measure both backends, print the table, enforce the acceptance bar."""
+    dataset = build_workload()
+    print(f"\nBackend scaling: K={N_SOURCES}, N={_n_objects():,}, "
+          f"density={DENSITY:.0%}, {dataset.n_claims():,} claims"
+          f"{' [smoke]' if _smoke() else ''}")
+    measurements = {}
+    for backend in ("sparse", "dense"):
+        result, peak, seconds = measure(dataset, backend)
+        measurements[backend] = (result, peak, seconds)
+        print(render_row(backend, peak, seconds))
+    sparse_result, sparse_peak, _ = measurements["sparse"]
+    dense_result, dense_peak, _ = measurements["dense"]
+    ratio = dense_peak / sparse_peak
+    print(f"  dense/sparse peak-memory ratio: {ratio:.1f}x")
+    for col_s, col_d in zip(sparse_result.truths.columns,
+                            dense_result.truths.columns):
+        np.testing.assert_array_equal(col_s, col_d)
+    np.testing.assert_array_equal(sparse_result.weights,
+                                  dense_result.weights)
+    if not _smoke():
+        assert ratio >= 5.0, (
+            f"sparse backend saved only {ratio:.1f}x peak memory "
+            f"(dense {dense_peak / 2**20:.1f} MiB, sparse "
+            f"{sparse_peak / 2**20:.1f} MiB); acceptance bar is 5x"
+        )
+    return {"ratio": ratio, "dense_peak": dense_peak,
+            "sparse_peak": sparse_peak}
+
+
+def run_single(backend: str) -> None:
+    """CI smoke entry: one backend end to end, no comparison."""
+    dataset = build_workload()
+    result, peak, seconds = measure(dataset, backend)
+    print(f"Backend smoke: K={N_SOURCES}, N={_n_objects():,}, "
+          f"density={DENSITY:.0%}{' [smoke]' if _smoke() else ''}")
+    print(render_row(backend, peak, seconds))
+    assert len(result.objective_history) >= 1
+    assert np.all(np.isfinite(result.weights))
+
+
+def test_backend_memory_scaling(benchmark):
+    """pytest-benchmark entry: full comparison with the 5x assertion."""
+    summary = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    assert summary["sparse_peak"] < summary["dense_peak"]
+
+
+def main() -> None:
+    """Script entry: ``--backend {dense,sparse,both}`` (default both)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backend", choices=("dense", "sparse", "both"),
+                        default="both")
+    args = parser.parse_args()
+    if args.backend == "both":
+        run_comparison()
+    else:
+        run_single(args.backend)
+
+
+if __name__ == "__main__":
+    main()

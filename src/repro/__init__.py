@@ -17,6 +17,7 @@ Quickstart::
 """
 
 from .core import CRHConfig, CRHSolver, TruthDiscoveryResult, crh
+from .engine import make_backend, set_default_backend, use_default_backend
 
 __version__ = "1.0.0"
 
@@ -25,5 +26,8 @@ __all__ = [
     "CRHSolver",
     "TruthDiscoveryResult",
     "crh",
+    "make_backend",
+    "set_default_backend",
+    "use_default_backend",
     "__version__",
 ]

@@ -7,6 +7,8 @@ Usage::
     crh-repro fig8 --seed 5
     crh-repro all --output results.md
     crh-repro table2 --scale 3        # 3x larger stock/flight workloads
+    crh-repro table2 --backend sparse # CSR claims execution everywhere
+    crh-repro profile                 # conflict/density/memory profile
     python -m repro table6
 
 Each experiment prints the same rows/series the paper's table or figure
@@ -22,6 +24,7 @@ from pathlib import Path
 from typing import Callable
 
 from . import experiments as exp
+from .engine import BACKEND_NAMES, use_default_backend
 from .observability import JsonlTracer, RunReport, experiment_record
 from .observability.tracer import Tracer
 
@@ -90,7 +93,36 @@ def build_parser() -> argparse.ArgumentParser:
         help=("write a JSONL trace of the run to this file and print a "
               "RunReport summary (see docs/OBSERVABILITY.md)"),
     )
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="auto",
+        help=("execution backend every solver resolves 'auto' to: dense "
+              "(K, N) matrices or sparse CSR claims; results are "
+              "bit-identical (default: follow each dataset's "
+              "representation)"),
+    )
     return parser
+
+
+def _run_profile(seed: int, output: Path | None) -> None:
+    """Profile the generated workloads: conflicts, density, memory."""
+    from .data.profile import profile_dataset
+    from .datasets import (
+        generate_flight_dataset,
+        generate_stock_dataset,
+        generate_weather_dataset,
+    )
+    sections: list[str] = []
+    for name, generate in (("Weather", generate_weather_dataset),
+                           ("Stock", generate_stock_dataset),
+                           ("Flight", generate_flight_dataset)):
+        rendered = profile_dataset(generate(seed=seed).dataset).render()
+        print(f"== profile: {name}")
+        print(rendered)
+        print()
+        sections.append(f"## profile: {name}\n\n```\n{rendered}\n```\n")
+    if output is not None:
+        with output.open("a") as handle:
+            handle.write("\n".join(sections))
 
 
 def _run_one(name: str, seed: int, scale: float,
@@ -128,6 +160,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         for name, (description, _) in _EXPERIMENTS.items():
             print(f"{name:8s} {description}")
+        print("profile  conflict / claim-density / memory profile of the "
+              "generated workloads")
+        return 0
+    if args.experiment == "profile":
+        _run_profile(args.seed, args.output)
         return 0
     if args.experiment not in _EXPERIMENTS and args.experiment != "all":
         print(f"unknown experiment {args.experiment!r}; "
@@ -135,12 +172,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     tracer = JsonlTracer(args.trace) if args.trace is not None else None
     try:
-        if args.experiment == "all":
-            for name in _EXPERIMENTS:
-                _run_one(name, args.seed, args.scale, args.output, tracer)
-        else:
-            _run_one(args.experiment, args.seed, args.scale, args.output,
-                     tracer)
+        with use_default_backend(args.backend):
+            if args.experiment == "all":
+                for name in _EXPERIMENTS:
+                    _run_one(name, args.seed, args.scale, args.output,
+                             tracer)
+            else:
+                _run_one(args.experiment, args.seed, args.scale,
+                         args.output, tracer)
     finally:
         if tracer is not None:
             tracer.close()

@@ -4,9 +4,11 @@ The public entry points are :func:`crh` (one call), :class:`CRHSolver` /
 :class:`CRHConfig` (configurable), the loss registry in
 :mod:`repro.core.losses`, the weight schemes in
 :mod:`repro.core.regularizers`, and the source-selection helpers in
-:mod:`repro.core.selection`.
+:mod:`repro.core.selection`.  The per-property math every engine shares
+lives in :mod:`repro.core.kernels`.
 """
 
+from . import kernels
 from .initialization import (
     initialize_random,
     initialize_vote_mean,
@@ -113,6 +115,7 @@ __all__ = [
     "initialize_vote_median",
     "fine_grained_crh",
     "initializer_by_name",
+    "kernels",
     "levenshtein",
     "normalized_edit_distance",
     "loss_by_name",

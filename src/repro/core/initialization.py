@@ -4,6 +4,10 @@ The paper initializes the truths with Voting/Averaging-style estimates and
 reports that this is "typically a good start".  All strategies here return
 one initial truth column per property; the solver then alternates weight
 and truth steps from that point.
+
+Strategies run on the property's *claim view* (see
+:mod:`repro.core.kernels`), so they accept dense and sparse datasets
+interchangeably and both execution backends initialize bit-identically.
 """
 
 from __future__ import annotations
@@ -11,71 +15,77 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.encoding import MISSING_CODE
-from ..data.table import MultiSourceDataset
-from .weighted_stats import (
-    weighted_mean_columns,
-    weighted_median_columns,
-    weighted_vote_columns,
+from .kernels import (
+    segment_weighted_mean,
+    segment_weighted_median,
+    segment_weighted_vote,
 )
 
 
-def _uniform(dataset: MultiSourceDataset) -> np.ndarray:
-    return np.ones(dataset.n_sources, dtype=np.float64)
-
-
-def initialize_vote_median(dataset: MultiSourceDataset) -> list[np.ndarray]:
+def initialize_vote_median(dataset) -> list[np.ndarray]:
     """Majority vote for categorical, median for continuous (paper default)."""
     columns: list[np.ndarray] = []
-    uniform = _uniform(dataset)
     for prop in dataset.properties:
+        view = prop.claim_view()
+        uniform = np.ones(view.n_claims, dtype=np.float64)
         if prop.schema.is_continuous:
-            columns.append(weighted_median_columns(prop.values, uniform))
+            columns.append(segment_weighted_median(
+                view.values, uniform, view.indptr,
+                group_of_claim=view.object_idx,
+            ))
         else:
-            columns.append(
-                weighted_vote_columns(prop.values, uniform,
-                                      n_categories=len(prop.codec))
-            )
+            columns.append(segment_weighted_vote(
+                view.values, uniform, view.indptr,
+                n_categories=len(prop.codec),
+                group_of_claim=view.object_idx,
+            ))
     return columns
 
 
-def initialize_vote_mean(dataset: MultiSourceDataset) -> list[np.ndarray]:
+def initialize_vote_mean(dataset) -> list[np.ndarray]:
     """Majority vote for categorical, mean for continuous (Averaging)."""
     columns: list[np.ndarray] = []
-    uniform = _uniform(dataset)
     for prop in dataset.properties:
+        view = prop.claim_view()
+        uniform = np.ones(view.n_claims, dtype=np.float64)
         if prop.schema.is_continuous:
-            columns.append(weighted_mean_columns(prop.values, uniform))
+            columns.append(segment_weighted_mean(
+                view.values, uniform, view.indptr,
+                group_of_claim=view.object_idx,
+            ))
         else:
-            columns.append(
-                weighted_vote_columns(prop.values, uniform,
-                                      n_categories=len(prop.codec))
-            )
+            columns.append(segment_weighted_vote(
+                view.values, uniform, view.indptr,
+                n_categories=len(prop.codec),
+                group_of_claim=view.object_idx,
+            ))
     return columns
 
 
-def initialize_random(dataset: MultiSourceDataset,
-                      rng: np.random.Generator) -> list[np.ndarray]:
+def initialize_random(dataset, rng: np.random.Generator) -> list[np.ndarray]:
     """Pick a random claimed value per entry (the ablation's weak start).
 
     Sampling from *claimed* values (rather than arbitrary points) keeps the
-    initialization in the feasible region every loss can score.
+    initialization in the feasible region every loss can score.  Noise is
+    drawn per claim in canonical claim order, so both backends consume the
+    generator identically.
     """
     columns: list[np.ndarray] = []
     for prop in dataset.properties:
-        observed = prop.observed_mask()
-        k, n = prop.values.shape
-        # Choose, per column, a uniformly random observed row.
-        noise = rng.random((k, n))
-        noise[~observed] = -1.0
-        chosen_rows = noise.argmax(axis=0)
-        column = prop.values[chosen_rows, np.arange(n)].copy()
-        empty = ~observed.any(axis=0)
+        view = prop.claim_view()
+        n = view.n_objects
+        noise = rng.random(view.n_claims)
+        # Claim with the largest noise in each group wins: sort by
+        # (group, noise) and take the last claim of each group segment.
+        order = np.lexsort((noise, view.object_idx))
+        sizes = np.diff(view.indptr)
+        nonempty = sizes > 0
+        chosen = order[view.indptr[1:][nonempty] - 1]
         if prop.schema.uses_codec:
-            column = column.astype(np.int32)
-            column[empty] = MISSING_CODE
+            column = np.full(n, MISSING_CODE, dtype=np.int32)
         else:
-            column = column.astype(np.float64)
-            column[empty] = np.nan
+            column = np.full(n, np.nan, dtype=np.float64)
+        column[nonempty] = view.values[chosen]
         columns.append(column)
     return columns
 

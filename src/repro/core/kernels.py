@@ -1,0 +1,340 @@
+"""Pure, stateless execution kernels shared by all three CRH engines.
+
+Every engine — the sequential solver, the MapReduce simulation, and
+streaming I-CRH — reduces to the same per-property math.  This module is
+the single implementation of that math, expressed over the *claim view*
+``(values, source_idx, object_idx, indptr)`` of
+:class:`~repro.data.claims_matrix.ClaimView`: flat parallel arrays of
+claims grouped into contiguous CSR segments.
+
+Kernel -> paper equation map:
+
+======================================  ==================================
+kernel                                  paper equation
+======================================  ==================================
+:func:`segment_weighted_vote`           Eq. 9 (weighted voting)
+:func:`segment_label_distribution`      Eq. 12 (probability truth update)
+:func:`segment_weighted_mean`           Eq. 14 (weighted mean)
+:func:`segment_weighted_median`         Eq. 16 (weighted median,
+                                        half-mass rule)
+:func:`segment_weighted_medoid`         Eq. 3 restricted to claimed
+                                        strings (text medoid)
+:func:`segment_std`                     std normalizer of Eqs. 13/15
+:func:`zero_one_claim_deviations`       Eq. 8
+:func:`probability_claim_deviations`    Eq. 11 (closed form)
+:func:`squared_claim_deviations`        Eq. 13
+:func:`absolute_claim_deviations`       Eq. 15
+:func:`accumulate_source_deviations`    per-source sums feeding Eq. 2/5
+======================================  ==================================
+
+All kernels are deterministic and order-stable: groups with a tied vote
+pick the smallest code, weighted medians follow the half-mass rule
+(first sorted value whose cumulative weight reaches ``W/2 - 1e-12``),
+and zero-total-weight groups fall back to uniform weights — matching the
+scalar oracles in :mod:`repro.core.weighted_stats`.  Because both
+execution backends feed kernels the identical canonically-ordered claim
+view, dense and sparse runs are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data.encoding import MISSING_CODE
+
+
+def _segment_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Sum ``values`` within each CSR segment; empty segments sum to 0.
+
+    ``np.add.reduceat`` alone mishandles empty segments (it returns
+    ``values[i]`` when two boundaries coincide and raises at the end),
+    so the reduction runs over the non-empty starts only — consecutive
+    non-empty starts bound their segments correctly because intervening
+    empty segments contribute no rows.
+    """
+    sizes = np.diff(indptr)
+    sums = np.zeros(sizes.shape[0], dtype=np.float64)
+    nonempty = np.flatnonzero(sizes > 0)
+    if nonempty.size:
+        sums[nonempty] = np.add.reduceat(
+            np.asarray(values, dtype=np.float64), indptr[nonempty]
+        )
+    return sums
+
+
+def _group_of_claim(indptr: np.ndarray) -> np.ndarray:
+    """Group index of every claim, derived from the CSR row pointer."""
+    sizes = np.diff(indptr)
+    return np.repeat(np.arange(sizes.shape[0]), sizes)
+
+
+def _effective_weights(
+    claim_weights: np.ndarray, indptr: np.ndarray,
+    group_of_claim: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-claim weights with the zero-total-group fallback applied.
+
+    Groups whose claims all carry zero weight fall back to uniform
+    weights (each claim weighs 1), mirroring the scalar oracles; returns
+    ``(effective_claim_weights, per_group_totals)``.
+    """
+    claim_weights = np.asarray(claim_weights, dtype=np.float64)
+    totals = _segment_sums(claim_weights, indptr)
+    sizes = np.diff(indptr)
+    zero = (totals <= 0) & (sizes > 0)
+    if zero.any():
+        claim_weights = np.where(zero[group_of_claim], 1.0, claim_weights)
+        totals = np.where(zero, sizes.astype(np.float64), totals)
+    return claim_weights, totals
+
+
+def segment_weighted_mean(values: np.ndarray, claim_weights: np.ndarray,
+                          indptr: np.ndarray,
+                          group_of_claim: np.ndarray | None = None,
+                          ) -> np.ndarray:
+    """Weighted mean of every claim group (Eq. 14); ``NaN`` when empty."""
+    if group_of_claim is None:
+        group_of_claim = _group_of_claim(indptr)
+    weights, totals = _effective_weights(claim_weights, indptr,
+                                         group_of_claim)
+    sums = _segment_sums(
+        np.asarray(values, dtype=np.float64) * weights, indptr
+    )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        result = sums / totals
+    return np.where(totals > 0, result, np.nan)
+
+
+def segment_weighted_median(values: np.ndarray, claim_weights: np.ndarray,
+                            indptr: np.ndarray,
+                            group_of_claim: np.ndarray | None = None,
+                            ) -> np.ndarray:
+    """Weighted median of every claim group (Eq. 16); ``NaN`` when empty.
+
+    Implements the paper's half-mass rule: sort each group's claims by
+    value (stable, so equal values keep source order), accumulate
+    weights, and pick the first claim whose cumulative weight reaches
+    ``W/2 - 1e-12``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if group_of_claim is None:
+        group_of_claim = _group_of_claim(indptr)
+    weights, totals = _effective_weights(claim_weights, indptr,
+                                         group_of_claim)
+    n_groups = indptr.shape[0] - 1
+    order = np.lexsort((values, group_of_claim))
+    sorted_values = values[order]
+    sorted_weights = weights[order]
+    sorted_groups = group_of_claim[order]
+
+    cumulative = np.cumsum(sorted_weights)
+    prefix = np.concatenate([[0.0], cumulative])[indptr[:-1]]
+    within = cumulative - prefix[sorted_groups]
+    half = totals / 2.0
+    reached = within >= half[sorted_groups] - 1e-12
+    # First crossing per group: scatter row indices in reverse so the
+    # earliest row wins; float pathologies fall back to the last row.
+    chosen = np.full(n_groups, -1, dtype=np.int64)
+    rows = np.flatnonzero(reached)
+    chosen[sorted_groups[rows][::-1]] = rows[::-1]
+    sizes = np.diff(indptr)
+    missing = (chosen < 0) & (sizes > 0)
+    if missing.any():
+        chosen[missing] = indptr[1:][missing] - 1
+    result = np.full(n_groups, np.nan)
+    has_claims = sizes > 0
+    result[has_claims] = sorted_values[chosen[has_claims]]
+    return result
+
+
+def segment_weighted_vote(codes: np.ndarray, claim_weights: np.ndarray,
+                          indptr: np.ndarray, n_categories: int,
+                          group_of_claim: np.ndarray | None = None,
+                          ) -> np.ndarray:
+    """Weighted vote per claim group (Eq. 9).
+
+    Returns an ``int32`` vector of winning codes, ``MISSING_CODE`` for
+    empty groups; ties break toward the smallest code.
+    """
+    codes = np.asarray(codes)
+    if group_of_claim is None:
+        group_of_claim = _group_of_claim(indptr)
+    weights, _ = _effective_weights(claim_weights, indptr, group_of_claim)
+    n_groups = indptr.shape[0] - 1
+    scores = np.zeros((n_categories, n_groups), dtype=np.float64)
+    np.add.at(scores, (codes, group_of_claim), weights)
+    winners = scores.argmax(axis=0).astype(np.int32)
+    winners[np.diff(indptr) == 0] = MISSING_CODE
+    return winners
+
+
+def segment_label_distribution(
+    codes: np.ndarray, claim_weights: np.ndarray, indptr: np.ndarray,
+    n_categories: int, group_of_claim: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group label distribution (Eq. 12) plus its hard arg-max.
+
+    Returns ``(distribution, column)`` where ``distribution`` is an
+    ``(L, G)`` matrix of per-group category probabilities (all-zero for
+    empty groups) and ``column`` the ``int32`` arg-max codes
+    (``MISSING_CODE`` for empty groups).
+    """
+    codes = np.asarray(codes)
+    if group_of_claim is None:
+        group_of_claim = _group_of_claim(indptr)
+    weights, totals = _effective_weights(claim_weights, indptr,
+                                         group_of_claim)
+    n_groups = indptr.shape[0] - 1
+    scores = np.zeros((n_categories, n_groups), dtype=np.float64)
+    np.add.at(scores, (codes, group_of_claim), weights)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        distribution = scores / totals[None, :]
+    empty = totals <= 0
+    distribution[:, empty] = 0.0
+    column = distribution.argmax(axis=0).astype(np.int32)
+    column[empty] = MISSING_CODE
+    return distribution, column
+
+
+def segment_std(values: np.ndarray, indptr: np.ndarray,
+                group_of_claim: np.ndarray | None = None,
+                floor: float = 1e-12) -> np.ndarray:
+    """Per-group standard deviation — the normalizer of Eqs. 13/15.
+
+    Two-pass (mean then centered squares) like
+    :func:`repro.core.weighted_stats.column_std`; groups with fewer than
+    two claims, or a std at/below ``floor``, fall back to 1.0 so the
+    losses degrade to unnormalized distances instead of dividing by zero.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if group_of_claim is None:
+        group_of_claim = _group_of_claim(indptr)
+    counts = np.diff(indptr)
+    safe_counts = np.maximum(counts, 1)
+    mean = _segment_sums(values, indptr) / safe_counts
+    centered_sq = (values - mean[group_of_claim]) ** 2
+    variance = _segment_sums(centered_sq, indptr) / safe_counts
+    std = np.sqrt(variance)
+    return np.where((std <= floor) | (counts < 2), 1.0, std)
+
+
+def segment_weighted_medoid(
+    codes: np.ndarray, claim_weights: np.ndarray, indptr: np.ndarray,
+    pair_distance: Callable[[int, int], float],
+) -> np.ndarray:
+    """Weighted medoid per claim group — the text truth update.
+
+    Picks, per group, the claimed code minimizing the weight-summed
+    ``pair_distance`` to the group's claims (Eq. 3 restricted to claimed
+    values).  Ties break toward the first candidate in sorted-code
+    order.  Returns ``int32`` codes with ``MISSING_CODE`` for empty
+    groups.
+    """
+    codes = np.asarray(codes)
+    claim_weights = np.asarray(claim_weights, dtype=np.float64)
+    n_groups = indptr.shape[0] - 1
+    column = np.full(n_groups, MISSING_CODE, dtype=np.int32)
+    for g in range(n_groups):
+        lo, hi = indptr[g], indptr[g + 1]
+        if lo == hi:
+            continue
+        entry_codes = codes[lo:hi]
+        entry_weights = claim_weights[lo:hi]
+        if entry_weights.sum() <= 0:
+            entry_weights = np.ones_like(entry_weights)
+        candidates = np.unique(entry_codes)
+        if candidates.size == 1:
+            column[g] = candidates[0]
+            continue
+        best_code = int(candidates[0])
+        best_cost = np.inf
+        for candidate in candidates:
+            cost = sum(
+                w * pair_distance(int(candidate), int(code))
+                for code, w in zip(entry_codes, entry_weights)
+            )
+            if cost < best_cost:
+                best_cost = cost
+                best_code = int(candidate)
+        column[g] = best_code
+    return column
+
+
+# ----------------------------------------------------------------------
+# per-claim deviations (the d_m terms of Eq. 2/5)
+# ----------------------------------------------------------------------
+
+def zero_one_claim_deviations(codes: np.ndarray, truth_codes: np.ndarray,
+                              object_idx: np.ndarray) -> np.ndarray:
+    """0-1 deviation of every claim from its entry's truth (Eq. 8)."""
+    truths = np.asarray(truth_codes)[object_idx]
+    return (np.asarray(codes) != truths).astype(np.float64)
+
+
+def probability_claim_deviations(codes: np.ndarray,
+                                 distribution: np.ndarray,
+                                 object_idx: np.ndarray) -> np.ndarray:
+    """Squared one-hot deviation of every claim (Eq. 11, closed form).
+
+    ``||p - e_c||^2 = sum_l p_l^2 - 2 p_c + 1`` evaluated against the
+    entry's probability column of ``distribution`` (an ``(L, G)``
+    matrix) — no one-hot vectors are materialized.
+    """
+    squared_norm = (np.asarray(distribution) ** 2).sum(axis=0)
+    p_claimed = distribution[np.asarray(codes), object_idx]
+    return squared_norm[object_idx] - 2.0 * p_claimed + 1.0
+
+
+def squared_claim_deviations(values: np.ndarray, truths: np.ndarray,
+                             stds: np.ndarray,
+                             object_idx: np.ndarray) -> np.ndarray:
+    """Std-normalized squared deviation of every claim (Eq. 13)."""
+    residual = np.asarray(values, dtype=np.float64) \
+        - np.asarray(truths)[object_idx]
+    return residual ** 2 / np.asarray(stds)[object_idx]
+
+
+def absolute_claim_deviations(values: np.ndarray, truths: np.ndarray,
+                              stds: np.ndarray,
+                              object_idx: np.ndarray) -> np.ndarray:
+    """Std-normalized absolute deviation of every claim (Eq. 15)."""
+    residual = np.asarray(values, dtype=np.float64) \
+        - np.asarray(truths)[object_idx]
+    return np.abs(residual) / np.asarray(stds)[object_idx]
+
+
+def accumulate_source_deviations(
+    claim_deviations: np.ndarray, source_idx: np.ndarray, n_sources: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Aggregate per-claim deviations into per-source sums and counts.
+
+    The ``(sum, count)`` pair feeds the weight step (Eq. 2/5) and the
+    count normalization of Section 2.5.  Claims with a non-finite
+    deviation (their entry's truth is still unset) contribute nothing.
+    """
+    claim_deviations = np.asarray(claim_deviations, dtype=np.float64)
+    finite = np.isfinite(claim_deviations)
+    if not finite.all():
+        source_idx = np.asarray(source_idx)[finite]
+        claim_deviations = claim_deviations[finite]
+    totals = np.bincount(source_idx, weights=claim_deviations,
+                         minlength=n_sources).astype(np.float64)
+    counts = np.bincount(source_idx,
+                         minlength=n_sources).astype(np.float64)
+    return totals, counts
+
+
+def scatter_claims_to_matrix(view, claim_values: np.ndarray,
+                             fill=np.nan) -> np.ndarray:
+    """Scatter per-claim values back into a dense ``(K, N)`` matrix.
+
+    The compatibility bridge for consumers of the dense
+    ``Loss.deviations`` API (fine-grained weights, CATD): unclaimed
+    cells get ``fill`` (``NaN`` by default).
+    """
+    matrix = np.full((view.n_sources, view.n_objects), fill,
+                     dtype=np.float64)
+    matrix[view.source_idx, view.object_idx] = claim_values
+    return matrix

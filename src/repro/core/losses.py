@@ -3,9 +3,12 @@
 Each loss owns both sides of the block-coordinate iteration for the
 properties of its kind:
 
-* ``deviations`` — the ``d_m(v*_im, v^(k)_im)`` matrix entering the weight
-  step (Eq. 2/5);
-* ``update_truth`` — the entry-wise minimizer of Eq. 3 for the truth step.
+* ``claim_deviations`` — the per-claim ``d_m(v*_im, v^(k)_im)`` values
+  entering the weight step (Eq. 2/5);
+* ``update_truth`` — the entry-wise minimizer of Eq. 3 for the truth step;
+* ``deviations`` — the dense ``(K, N)`` view of the same deviations, kept
+  for consumers that reason over source-by-object matrices (fine-grained
+  weights, CATD).
 
 Implemented losses, with their paper equations:
 
@@ -17,6 +20,15 @@ loss                   data type    deviation                       truth update
 ``squared``            continuous   Eq. 13 (squared / entry std)    Eq. 14 (weighted mean)
 ``absolute``           continuous   Eq. 15 (absolute / entry std)   Eq. 16 (weighted median)
 =====================  ===========  ==============================  =================
+
+The built-in losses run entirely on the claim view (see
+:mod:`repro.core.kernels`), so they accept dense
+:class:`~repro.data.table.PropertyObservations` and sparse
+:class:`~repro.data.claims_matrix.PropertyClaims` interchangeably — any
+property exposing ``claim_view()``, ``codec``, ``schema`` and
+``n_objects`` works.  Custom losses may instead implement only the dense
+``deviations``/``update_truth`` pair (e.g. :mod:`repro.core.bregman`);
+they then require a dense property.
 
 The paper's recommended configuration (Section 3.1.2) is ``zero_one`` +
 ``absolute``; ``probability`` + ``squared`` is the provably convergent
@@ -32,13 +44,7 @@ import numpy as np
 
 from ..data.encoding import MISSING_CODE
 from ..data.schema import PropertyKind
-from ..data.table import PropertyObservations
-from .weighted_stats import (
-    column_std,
-    weighted_mean_columns,
-    weighted_median_columns,
-    weighted_vote_columns,
-)
+from . import kernels
 
 
 @dataclass
@@ -59,7 +65,12 @@ class TruthState:
 
 
 class Loss(abc.ABC):
-    """A loss function ``d_m`` for one property kind."""
+    """A loss function ``d_m`` for one property kind.
+
+    ``prop`` arguments are duck-typed: built-in losses only touch the
+    claim-view surface (``claim_view()``, ``codec``, ``schema``,
+    ``n_objects``), so they run on dense and sparse properties alike.
+    """
 
     #: registry key, e.g. ``"zero_one"``
     name: str
@@ -67,26 +78,35 @@ class Loss(abc.ABC):
     kind: PropertyKind
 
     @abc.abstractmethod
-    def initial_state(self, prop: PropertyObservations,
-                      init_column: np.ndarray) -> TruthState:
+    def initial_state(self, prop, init_column: np.ndarray) -> TruthState:
         """Wrap an initial truth column into solver state."""
 
     @abc.abstractmethod
-    def update_truth(self, prop: PropertyObservations,
-                     weights: np.ndarray) -> TruthState:
+    def update_truth(self, prop, weights: np.ndarray) -> TruthState:
         """Truth step: per-entry minimizer of Eq. 3 under this loss."""
 
     @abc.abstractmethod
-    def deviations(self, state: TruthState,
-                   prop: PropertyObservations) -> np.ndarray:
+    def deviations(self, state: TruthState, prop) -> np.ndarray:
         """``(K, N)`` matrix of ``d_m`` values; ``NaN`` where unobserved."""
 
-    def objective_contribution(self, state: TruthState,
-                               prop: PropertyObservations,
+    def claim_deviations(self, state: TruthState, prop) -> np.ndarray:
+        """Per-claim deviations aligned with ``prop.claim_view()``.
+
+        The default gathers from the dense :meth:`deviations` matrix, so
+        dense-only custom losses keep working; built-in losses override
+        it with a direct kernel evaluation (and derive :meth:`deviations`
+        from it instead).
+        """
+        view = prop.claim_view()
+        dense = self.deviations(state, prop)
+        return dense[view.source_idx, view.object_idx]
+
+    def objective_contribution(self, state: TruthState, prop,
                                weights: np.ndarray) -> float:
         """This property's term of the objective (Eq. 1)."""
-        dev = self.deviations(state, prop)
-        return float(np.nansum(dev * weights[:, None]))
+        view = prop.claim_view()
+        dev = self.claim_deviations(state, prop)
+        return float(np.nansum(dev * view.claim_weights(weights)))
 
 
 # ----------------------------------------------------------------------
@@ -99,24 +119,28 @@ class ZeroOneLoss(Loss):
     name = "zero_one"
     kind = PropertyKind.CATEGORICAL
 
-    def initial_state(self, prop: PropertyObservations,
-                      init_column: np.ndarray) -> TruthState:
+    def initial_state(self, prop, init_column: np.ndarray) -> TruthState:
         return TruthState(column=np.asarray(init_column, dtype=np.int32))
 
-    def update_truth(self, prop: PropertyObservations,
-                     weights: np.ndarray) -> TruthState:
-        column = weighted_vote_columns(
-            prop.values, weights, n_categories=len(prop.codec)
+    def update_truth(self, prop, weights: np.ndarray) -> TruthState:
+        view = prop.claim_view()
+        column = kernels.segment_weighted_vote(
+            view.values, view.claim_weights(weights), view.indptr,
+            n_categories=len(prop.codec),
+            group_of_claim=view.object_idx,
         )
         return TruthState(column=column)
 
-    def deviations(self, state: TruthState,
-                   prop: PropertyObservations) -> np.ndarray:
-        codes = prop.values
-        observed = codes != MISSING_CODE
-        mismatch = (codes != state.column[None, :]).astype(np.float64)
-        mismatch[~observed] = np.nan
-        return mismatch
+    def claim_deviations(self, state: TruthState, prop) -> np.ndarray:
+        view = prop.claim_view()
+        return kernels.zero_one_claim_deviations(
+            view.values, state.column, view.object_idx
+        )
+
+    def deviations(self, state: TruthState, prop) -> np.ndarray:
+        return kernels.scatter_claims_to_matrix(
+            prop.claim_view(), self.claim_deviations(state, prop)
+        )
 
 
 class ProbabilityVectorLoss(Loss):
@@ -132,8 +156,7 @@ class ProbabilityVectorLoss(Loss):
     name = "probability"
     kind = PropertyKind.CATEGORICAL
 
-    def initial_state(self, prop: PropertyObservations,
-                      init_column: np.ndarray) -> TruthState:
+    def initial_state(self, prop, init_column: np.ndarray) -> TruthState:
         n_categories = len(prop.codec)
         n = prop.n_objects
         column = np.asarray(init_column, dtype=np.int32)
@@ -142,60 +165,38 @@ class ProbabilityVectorLoss(Loss):
         distribution[column[labeled], np.flatnonzero(labeled)] = 1.0
         return TruthState(column=column, distribution=distribution)
 
-    def update_truth(self, prop: PropertyObservations,
-                     weights: np.ndarray) -> TruthState:
-        codes = prop.values
-        k, n = codes.shape
-        n_categories = len(prop.codec)
-        observed = codes != MISSING_CODE
-        weight_matrix = np.where(observed, weights[:, None], 0.0)
-        totals = weight_matrix.sum(axis=0)
-        zero_weight = (totals <= 0) & observed.any(axis=0)
-        if zero_weight.any():
-            weight_matrix[:, zero_weight] = np.where(
-                observed[:, zero_weight], 1.0, 0.0
-            )
-            totals = weight_matrix.sum(axis=0)
-        scores = np.zeros((n_categories, n), dtype=np.float64)
-        columns = np.broadcast_to(np.arange(n), (k, n))
-        np.add.at(
-            scores,
-            (codes[observed], columns[observed]),
-            weight_matrix[observed],
+    def update_truth(self, prop, weights: np.ndarray) -> TruthState:
+        view = prop.claim_view()
+        distribution, column = kernels.segment_label_distribution(
+            view.values, view.claim_weights(weights), view.indptr,
+            n_categories=len(prop.codec),
+            group_of_claim=view.object_idx,
         )
-        with np.errstate(invalid="ignore", divide="ignore"):
-            distribution = scores / totals[None, :]
-        unseen = totals <= 0
-        distribution[:, unseen] = 0.0
-        column = distribution.argmax(axis=0).astype(np.int32)
-        column[unseen] = MISSING_CODE
         return TruthState(column=column, distribution=distribution)
 
-    def deviations(self, state: TruthState,
-                   prop: PropertyObservations) -> np.ndarray:
+    def claim_deviations(self, state: TruthState, prop) -> np.ndarray:
         if state.distribution is None:
             raise ValueError("probability loss state lacks a distribution")
-        codes = prop.values
-        observed = codes != MISSING_CODE
-        squared_norm = (state.distribution ** 2).sum(axis=0)  # (N,)
-        safe_codes = np.where(observed, codes, 0)
-        p_claimed = state.distribution[
-            safe_codes, np.arange(codes.shape[1])[None, :]
-        ]
-        dev = squared_norm[None, :] - 2.0 * p_claimed + 1.0
-        dev = np.where(observed, dev, np.nan)
-        return dev
+        view = prop.claim_view()
+        return kernels.probability_claim_deviations(
+            view.values, state.distribution, view.object_idx
+        )
+
+    def deviations(self, state: TruthState, prop) -> np.ndarray:
+        return kernels.scatter_claims_to_matrix(
+            prop.claim_view(), self.claim_deviations(state, prop)
+        )
 
 
 # ----------------------------------------------------------------------
 # continuous losses
 # ----------------------------------------------------------------------
 
-def _entry_std(state_aux: dict, prop: PropertyObservations) -> np.ndarray:
-    """Per-entry cross-source std, cached per property matrix identity."""
+def _entry_std(state_aux: dict, prop) -> np.ndarray:
+    """Per-entry cross-source std, cached on the property's claim view."""
     cached = state_aux.get("std")
     if cached is None:
-        cached = column_std(prop.values)
+        cached = prop.claim_view().entry_std()
         state_aux["std"] = cached
     return cached
 
@@ -207,25 +208,31 @@ class NormalizedSquaredLoss(Loss):
     name = "squared"
     kind = PropertyKind.CONTINUOUS
 
-    def initial_state(self, prop: PropertyObservations,
-                      init_column: np.ndarray) -> TruthState:
+    def initial_state(self, prop, init_column: np.ndarray) -> TruthState:
         state = TruthState(column=np.asarray(init_column, dtype=np.float64))
         _entry_std(state.aux, prop)
         return state
 
-    def update_truth(self, prop: PropertyObservations,
-                     weights: np.ndarray) -> TruthState:
-        state = TruthState(
-            column=weighted_mean_columns(prop.values, weights)
-        )
+    def update_truth(self, prop, weights: np.ndarray) -> TruthState:
+        view = prop.claim_view()
+        state = TruthState(column=kernels.segment_weighted_mean(
+            view.values, view.claim_weights(weights), view.indptr,
+            group_of_claim=view.object_idx,
+        ))
         _entry_std(state.aux, prop)
         return state
 
-    def deviations(self, state: TruthState,
-                   prop: PropertyObservations) -> np.ndarray:
-        std = _entry_std(state.aux, prop)
-        dev = (prop.values - state.column[None, :]) ** 2 / std[None, :]
-        return dev
+    def claim_deviations(self, state: TruthState, prop) -> np.ndarray:
+        view = prop.claim_view()
+        return kernels.squared_claim_deviations(
+            view.values, state.column, _entry_std(state.aux, prop),
+            view.object_idx,
+        )
+
+    def deviations(self, state: TruthState, prop) -> np.ndarray:
+        return kernels.scatter_claims_to_matrix(
+            prop.claim_view(), self.claim_deviations(state, prop)
+        )
 
 
 class NormalizedAbsoluteLoss(Loss):
@@ -235,25 +242,31 @@ class NormalizedAbsoluteLoss(Loss):
     name = "absolute"
     kind = PropertyKind.CONTINUOUS
 
-    def initial_state(self, prop: PropertyObservations,
-                      init_column: np.ndarray) -> TruthState:
+    def initial_state(self, prop, init_column: np.ndarray) -> TruthState:
         state = TruthState(column=np.asarray(init_column, dtype=np.float64))
         _entry_std(state.aux, prop)
         return state
 
-    def update_truth(self, prop: PropertyObservations,
-                     weights: np.ndarray) -> TruthState:
-        state = TruthState(
-            column=weighted_median_columns(prop.values, weights)
-        )
+    def update_truth(self, prop, weights: np.ndarray) -> TruthState:
+        view = prop.claim_view()
+        state = TruthState(column=kernels.segment_weighted_median(
+            view.values, view.claim_weights(weights), view.indptr,
+            group_of_claim=view.object_idx,
+        ))
         _entry_std(state.aux, prop)
         return state
 
-    def deviations(self, state: TruthState,
-                   prop: PropertyObservations) -> np.ndarray:
-        std = _entry_std(state.aux, prop)
-        dev = np.abs(prop.values - state.column[None, :]) / std[None, :]
-        return dev
+    def claim_deviations(self, state: TruthState, prop) -> np.ndarray:
+        view = prop.claim_view()
+        return kernels.absolute_claim_deviations(
+            view.values, state.column, _entry_std(state.aux, prop),
+            view.object_idx,
+        )
+
+    def deviations(self, state: TruthState, prop) -> np.ndarray:
+        return kernels.scatter_claims_to_matrix(
+            prop.claim_view(), self.claim_deviations(state, prop)
+        )
 
 
 # ----------------------------------------------------------------------

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..data.table import MultiSourceDataset
+from .kernels import accumulate_source_deviations
 from .losses import Loss, TruthState
 
 
@@ -49,23 +49,33 @@ class DeviationOptions:
 
 
 def per_source_deviations(
-    dataset: MultiSourceDataset,
+    dataset,
     losses: list[Loss],
     states: list[TruthState],
     options: DeviationOptions = DeviationOptions(),
 ) -> np.ndarray:
-    """Aggregate ``(K,)`` deviations of every source from the truths."""
+    """Aggregate ``(K,)`` deviations of every source from the truths.
+
+    ``dataset`` may be a dense
+    :class:`~repro.data.table.MultiSourceDataset` or a sparse
+    :class:`~repro.data.claims_matrix.ClaimsMatrix`: the reduction runs
+    over each property's claim view either way.
+    """
     k = dataset.n_sources
     totals = np.zeros(k, dtype=np.float64)
     counts = np.zeros(k, dtype=np.float64)
     for prop, loss, state in zip(dataset.properties, losses, states):
-        dev = loss.deviations(state, prop)
+        dev = loss.claim_deviations(state, prop)
         if options.property_scale == "mean":
-            scale = np.nanmean(dev)
+            with np.errstate(invalid="ignore"):
+                scale = np.nanmean(dev) if dev.size else np.nan
             if np.isfinite(scale) and scale > 0:
                 dev = dev / scale
-        totals += np.nansum(dev, axis=1)
-        counts += (~np.isnan(dev)).sum(axis=1)
+        prop_totals, prop_counts = accumulate_source_deviations(
+            dev, prop.claim_view().source_idx, k
+        )
+        totals += prop_totals
+        counts += prop_counts
     if options.normalize_by_counts:
         with np.errstate(invalid="ignore", divide="ignore"):
             normalized = totals / counts
@@ -74,7 +84,7 @@ def per_source_deviations(
 
 
 def objective_value(
-    dataset: MultiSourceDataset,
+    dataset,
     losses: list[Loss],
     states: list[TruthState],
     weights: np.ndarray,

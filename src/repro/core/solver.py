@@ -22,7 +22,8 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..data.schema import PropertyKind
-from ..data.table import MultiSourceDataset, TruthTable
+from ..data.table import TruthTable
+from ..engine import BACKEND_NAMES, make_backend
 from ..observability import iteration_record, run_finished, run_started
 from ..observability.tracer import Tracer
 from .initialization import initializer_by_name
@@ -59,6 +60,11 @@ class CRHConfig:
     normalize_by_counts / property_scale:
         Deviation aggregation options (see
         :class:`repro.core.objective.DeviationOptions`).
+    backend:
+        Execution backend: ``"dense"`` ((K, N) matrices), ``"sparse"``
+        (CSR claims), or ``"auto"`` (follow the input's representation;
+        see :func:`repro.engine.make_backend`).  Both backends produce
+        bit-identical results — this is a memory/layout choice.
     seed:
         Used only by the random initializer.
     """
@@ -75,11 +81,17 @@ class CRHConfig:
     patience: int = 1
     normalize_by_counts: bool = True
     property_scale: str = "none"
+    backend: str = "auto"
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, "
+                f"got {self.backend!r}"
+            )
 
     def with_(self, **changes) -> "CRHConfig":
         """A copy of this config with the given fields replaced."""
@@ -100,7 +112,7 @@ class CRHSolver:
         self.config = config or CRHConfig()
 
     # ------------------------------------------------------------------
-    def _losses_for(self, dataset: MultiSourceDataset) -> list[Loss]:
+    def _losses_for(self, dataset) -> list[Loss]:
         """One loss instance per property, selected by property kind."""
         losses: list[Loss] = []
         for prop in dataset.schema:
@@ -117,7 +129,7 @@ class CRHSolver:
                 )
         return losses
 
-    def _initial_states(self, dataset: MultiSourceDataset,
+    def _initial_states(self, dataset,
                         losses: list[Loss]) -> list[TruthState]:
         initializer = initializer_by_name(self.config.initializer)
         if self.config.initializer == "random":
@@ -131,9 +143,15 @@ class CRHSolver:
         ]
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: MultiSourceDataset,
+    def fit(self, dataset,
             tracer: Tracer | None = None) -> TruthDiscoveryResult:
         """Run Algorithm 1 on ``dataset`` and return truths + weights.
+
+        ``dataset`` may be a dense
+        :class:`~repro.data.table.MultiSourceDataset` or a sparse
+        :class:`~repro.data.claims_matrix.ClaimsMatrix`; the config's
+        ``backend`` decides the execution representation (``"auto"``
+        follows the input).
 
         Pass a :class:`~repro.observability.Tracer` to receive one
         ``iteration`` record per loop pass (objective, weights, weight
@@ -144,6 +162,8 @@ class CRHSolver:
         """
         started = time.perf_counter()
         config = self.config
+        backend = make_backend(dataset, config.backend)
+        dataset = backend.data
         options = config.deviation_options()
         losses = self._losses_for(dataset)
         states = self._initial_states(dataset, losses)
@@ -160,6 +180,8 @@ class CRHSolver:
                 n_sources=dataset.n_sources,
                 n_objects=dataset.n_objects,
                 n_properties=len(dataset.schema),
+                backend=backend.name,
+                n_claims=backend.n_claims(),
             ))
 
         for iterations in range(1, config.max_iterations + 1):
@@ -231,9 +253,13 @@ def _truth_change_count(old_states: list[TruthState],
     return changed
 
 
-def states_to_truth_table(dataset: MultiSourceDataset,
+def states_to_truth_table(dataset,
                           states: list[TruthState]) -> TruthTable:
-    """Materialize per-property solver states into a :class:`TruthTable`."""
+    """Materialize per-property solver states into a :class:`TruthTable`.
+
+    Works on dense datasets and sparse claims matrices alike (both carry
+    schema, object ids and codecs).
+    """
     columns = []
     for prop, state in zip(dataset.properties, states):
         if prop.schema.uses_codec:
@@ -248,11 +274,12 @@ def states_to_truth_table(dataset: MultiSourceDataset,
     )
 
 
-def crh(dataset: MultiSourceDataset, tracer: Tracer | None = None,
+def crh(dataset, tracer: Tracer | None = None,
         **config_overrides) -> TruthDiscoveryResult:
     """One-call CRH with optional config overrides and tracing.
 
     >>> result = crh(dataset, continuous_loss="squared", max_iterations=20)
+    >>> result = crh(dataset, backend="sparse")       # CSR execution
     >>> result = crh(dataset, tracer=MemoryTracer())  # traced run
     """
     config = CRHConfig(**config_overrides) if config_overrides else CRHConfig()

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..data.encoding import MISSING_CODE
 from ..data.schema import PropertyKind
-from ..data.table import PropertyObservations
+from . import kernels
 from .losses import Loss, TruthState, register_loss
 
 
@@ -91,7 +91,7 @@ class EditDistanceLoss(Loss):
         low, high = (code_a, code_b) if code_a < code_b else (code_b, code_a)
         return self._distance(low, high)
 
-    def _bind_codec(self, prop: PropertyObservations) -> None:
+    def _bind_codec(self, prop) -> None:
         if self._codec is None:
             self._codec = prop.codec
         elif self._codec is not prop.codec:
@@ -101,57 +101,32 @@ class EditDistanceLoss(Loss):
             )
 
     # ------------------------------------------------------------------
-    def initial_state(self, prop: PropertyObservations,
-                      init_column: np.ndarray) -> TruthState:
+    def initial_state(self, prop, init_column: np.ndarray) -> TruthState:
         self._bind_codec(prop)
         return TruthState(column=np.asarray(init_column, dtype=np.int32))
 
-    def update_truth(self, prop: PropertyObservations,
-                     weights: np.ndarray) -> TruthState:
+    def update_truth(self, prop, weights: np.ndarray) -> TruthState:
         """Weighted medoid per entry over the entry's claimed strings."""
         self._bind_codec(prop)
-        codes = prop.values
-        k, n = codes.shape
-        column = np.full(n, MISSING_CODE, dtype=np.int32)
-        for j in range(n):
-            claimed = codes[:, j]
-            observed = claimed != MISSING_CODE
-            if not observed.any():
-                continue
-            entry_codes = claimed[observed]
-            entry_weights = weights[observed]
-            if entry_weights.sum() <= 0:
-                entry_weights = np.ones_like(entry_weights)
-            candidates = np.unique(entry_codes)
-            if candidates.size == 1:
-                column[j] = candidates[0]
-                continue
-            best_code = int(candidates[0])
-            best_cost = np.inf
-            for candidate in candidates:
-                cost = sum(
-                    w * self._pair_distance(int(candidate), int(code))
-                    for code, w in zip(entry_codes, entry_weights)
-                )
-                if cost < best_cost:
-                    best_cost = cost
-                    best_code = int(candidate)
-            column[j] = best_code
+        view = prop.claim_view()
+        column = kernels.segment_weighted_medoid(
+            view.values, view.claim_weights(weights), view.indptr,
+            self._pair_distance,
+        )
         return TruthState(column=column)
 
-    def deviations(self, state: TruthState,
-                   prop: PropertyObservations) -> np.ndarray:
+    def claim_deviations(self, state: TruthState, prop) -> np.ndarray:
+        """Normalized edit distance of every claim to its entry's truth."""
         self._bind_codec(prop)
-        codes = prop.values
-        k, n = codes.shape
-        dev = np.full((k, n), np.nan)
-        for j in range(n):
-            truth_code = int(state.column[j])
-            if truth_code == MISSING_CODE:
-                continue
-            for i in range(k):
-                code = int(codes[i, j])
-                if code == MISSING_CODE:
-                    continue
-                dev[i, j] = self._pair_distance(truth_code, code)
-        return dev
+        view = prop.claim_view()
+        truths = np.asarray(state.column)[view.object_idx]
+        return np.array([
+            np.nan if truth == MISSING_CODE
+            else self._pair_distance(int(truth), int(code))
+            for truth, code in zip(truths, view.values)
+        ], dtype=np.float64)
+
+    def deviations(self, state: TruthState, prop) -> np.ndarray:
+        return kernels.scatter_claims_to_matrix(
+            prop.claim_view(), self.claim_deviations(state, prop)
+        )

@@ -5,11 +5,20 @@ Public surface:
 * :mod:`repro.data.schema` — typed property / dataset schemas;
 * :mod:`repro.data.table` — dense ``(K, N)`` observation matrices, truth
   tables, and the :class:`DatasetBuilder`;
+* :mod:`repro.data.claims_matrix` — sparse CSR-by-object claim storage
+  (:class:`ClaimsMatrix`) and the canonical :class:`ClaimView` the
+  execution kernels consume;
 * :mod:`repro.data.records` — the flat ``(eID, v, sID)`` record view;
 * :mod:`repro.data.io` — CSV/JSON persistence;
 * :mod:`repro.data.validation` — structural integrity checks.
 """
 
+from .claims_matrix import (
+    ClaimsMatrix,
+    ClaimView,
+    PropertyClaims,
+    claims_from_arrays,
+)
 from .encoding import MISSING_CODE, CategoricalCodec
 from .profile import (
     DatasetProfile,
@@ -50,11 +59,14 @@ from .validation import (
 __all__ = [
     "MISSING_CODE",
     "CategoricalCodec",
+    "ClaimView",
+    "ClaimsMatrix",
     "DatasetBuilder",
     "DatasetProfile",
     "DatasetSchema",
     "EntryId",
     "MultiSourceDataset",
+    "PropertyClaims",
     "PropertyKind",
     "PropertyObservations",
     "PropertyProfile",
@@ -67,6 +79,7 @@ __all__ = [
     "categorical",
     "continuous",
     "text",
+    "claims_from_arrays",
     "count_observations_per_source",
     "dataset_to_records",
     "encoded_record_arrays",

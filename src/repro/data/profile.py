@@ -10,6 +10,16 @@ The headline number, the *conflict rate*, is the fraction of
 multi-claimed entries whose claims are not unanimous — if it is near
 zero, voting will do and CRH's weighting has nothing to add; the paper's
 workloads sit between 0.3 and 0.9.
+
+The profile also reports each property's *claim density* and the
+projected dense-vs-sparse memory footprint, and recommends an execution
+backend (see :mod:`repro.engine`): below the break-even density the
+CSR claims form is the smaller representation.
+
+All statistics are computed on the canonical claim view, so dense
+:class:`~repro.data.table.MultiSourceDataset` and sparse
+:class:`~repro.data.claims_matrix.ClaimsMatrix` inputs profile
+identically.
 """
 
 from __future__ import annotations
@@ -18,13 +28,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .encoding import MISSING_CODE
-from .table import MultiSourceDataset
-
 
 @dataclass(frozen=True)
 class PropertyProfile:
-    """Conflict statistics of one property."""
+    """Conflict and footprint statistics of one property."""
 
     name: str
     kind: str
@@ -37,6 +44,12 @@ class PropertyProfile:
     conflict_rate: float
     #: mean number of distinct claimed values on conflicted entries
     mean_distinct_values: float
+    #: fraction of the virtual ``K x N`` matrix that is claimed
+    density: float
+    #: bytes a dense ``(K, N)`` matrix of this property holds
+    dense_bytes: int
+    #: bytes the CSR claims form of this property holds
+    sparse_bytes: int
 
 
 @dataclass(frozen=True)
@@ -72,13 +85,42 @@ class DatasetProfile:
             return 0.0
         return float((weights * rates).sum() / weights.sum())
 
+    @property
+    def density(self) -> float:
+        """Overall claim density: observations / (K x N x M)."""
+        cells = self.n_sources * self.n_objects * len(self.properties)
+        return self.n_observations / cells if cells else 0.0
+
+    @property
+    def dense_bytes(self) -> int:
+        """Projected dense footprint across all properties."""
+        return sum(p.dense_bytes for p in self.properties)
+
+    @property
+    def sparse_bytes(self) -> int:
+        """Projected sparse (CSR claims) footprint across all properties."""
+        return sum(p.sparse_bytes for p in self.properties)
+
+    @property
+    def recommended_backend(self) -> str:
+        """Which execution backend the footprint favors (see
+        :mod:`repro.engine`): ``"sparse"`` when the claims form is
+        strictly smaller than the dense matrices, else ``"dense"``."""
+        return "sparse" if self.sparse_bytes < self.dense_bytes else "dense"
+
     def render(self) -> str:
-        """Render both panels as aligned text."""
+        """Render all three panels as aligned text."""
         from ..experiments.render import render_table
         property_rows = [
             [p.name, p.kind, p.n_entries, p.mean_claims,
              p.multi_claimed_fraction, p.conflict_rate,
              p.mean_distinct_values]
+            for p in self.properties
+        ]
+        memory_rows = [
+            [p.name, p.density, format_bytes(p.dense_bytes),
+             format_bytes(p.sparse_bytes),
+             "sparse" if p.sparse_bytes < p.dense_bytes else "dense"]
             for p in self.properties
         ]
         source_rows = [
@@ -91,6 +133,12 @@ class DatasetProfile:
             f"observations over {self.n_entries:,} entries "
             f"(overall conflict rate {self.overall_conflict_rate:.3f})"
         )
+        footprint = (
+            f"Claim density {self.density:.3f}; dense "
+            f"{format_bytes(self.dense_bytes)} vs sparse "
+            f"{format_bytes(self.sparse_bytes)} -> recommended backend: "
+            f"{self.recommended_backend}"
+        )
         return "\n\n".join([
             header,
             render_table(
@@ -99,43 +147,55 @@ class DatasetProfile:
                 property_rows, title="Per property",
             ),
             render_table(
+                ["property", "density", "dense", "sparse", "backend"],
+                memory_rows, title="Memory footprint",
+            ),
+            render_table(
                 ["source", "claims", "coverage", "contradicted"],
                 source_rows, title="Per source",
             ),
+            footprint,
         ])
 
 
-def profile_dataset(dataset: MultiSourceDataset) -> DatasetProfile:
-    """Compute the conflict/coverage profile of a dataset."""
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (binary units, one decimal)."""
+    size = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{size:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def profile_dataset(dataset) -> DatasetProfile:
+    """Compute the conflict/coverage/footprint profile of a dataset.
+
+    ``dataset`` may be dense or sparse; statistics come from the
+    canonical claim view, so both representations produce the same
+    profile (footprint fields always report both projections).
+    """
     property_profiles: list[PropertyProfile] = []
     per_source_claims = np.zeros(dataset.n_sources, dtype=np.int64)
     per_source_contradicted = np.zeros(dataset.n_sources, dtype=np.int64)
 
     for prop in dataset.properties:
-        if prop.schema.uses_codec:
-            values = prop.values.astype(np.float64)
-            observed = prop.values != MISSING_CODE
-        else:
-            values = prop.values
-            observed = ~np.isnan(values)
-        claims_per_entry = observed.sum(axis=0)
-        entry_mask = claims_per_entry > 0
-        n_entries = int(entry_mask.sum())
-        multi = claims_per_entry >= 2
+        view = prop.claim_view()
+        sizes = np.diff(view.indptr)
+        n_entries = int(np.count_nonzero(sizes))
+        multi = sizes >= 2
 
-        # Distinct claimed values per entry, vectorized via column-wise
-        # min/max short-circuit plus exact counting on the multi columns.
-        masked = np.where(observed, values, np.nan)
-        with np.errstate(all="ignore"):
-            col_min = np.nanmin(np.where(observed, values, np.inf), axis=0)
-            col_max = np.nanmax(np.where(observed, values, -np.inf),
-                                axis=0)
-        disagree = multi & (col_min != col_max)
-        distinct_counts = []
-        for j in np.flatnonzero(disagree):
-            distinct_counts.append(
-                np.unique(masked[observed[:, j], j]).size
-            )
+        # Distinct claimed values per entry: sort claims by (object,
+        # value) and count value runs inside each object segment.
+        order = np.lexsort((view.values, view.object_idx))
+        objects = view.object_idx[order]
+        values = view.values[order]
+        run_start = np.ones(order.size, dtype=bool)
+        run_start[1:] = (objects[1:] != objects[:-1]) \
+            | (values[1:] != values[:-1])
+        distinct = np.bincount(objects[run_start],
+                               minlength=view.n_objects)
+        disagree = multi & (distinct >= 2)
         conflicted = int(disagree.sum())
         multi_count = int(multi.sum())
 
@@ -143,28 +203,32 @@ def profile_dataset(dataset: MultiSourceDataset) -> DatasetProfile:
             name=prop.schema.name,
             kind=prop.schema.kind.value,
             n_entries=n_entries,
-            mean_claims=(float(claims_per_entry[entry_mask].mean())
+            mean_claims=(float(sizes[sizes > 0].mean())
                          if n_entries else 0.0),
             multi_claimed_fraction=(multi_count / n_entries
                                     if n_entries else 0.0),
             conflict_rate=(conflicted / multi_count
                            if multi_count else 0.0),
-            mean_distinct_values=(float(np.mean(distinct_counts))
-                                  if distinct_counts else 0.0),
+            mean_distinct_values=(float(distinct[disagree].mean())
+                                  if conflicted else 0.0),
+            density=prop.density(),
+            dense_bytes=prop.dense_nbytes(),
+            sparse_bytes=prop.sparse_nbytes(),
         ))
 
-        per_source_claims += observed.sum(axis=1)
-        # A claim is contradicted when its entry disagrees and this
-        # source's value differs from at least one other claim there —
-        # with disagreement, any claimant on a non-unanimous entry whose
-        # value is not shared by all is contradicted; we count claimants
-        # on disagreeing entries whose value differs from some other.
-        for j in np.flatnonzero(disagree):
-            column_values = masked[observed[:, j], j]
-            claimant_rows = np.flatnonzero(observed[:, j])
-            for row, value in zip(claimant_rows, column_values):
-                if (column_values != value).any():
-                    per_source_contradicted[row] += 1
+        per_source_claims += np.bincount(view.source_idx,
+                                         minlength=dataset.n_sources)
+        # A claim is contradicted when some other claim on its entry
+        # carries a different value, i.e. its value run does not cover
+        # the whole entry segment.
+        if order.size:
+            run_id = np.cumsum(run_start) - 1
+            run_len = np.bincount(run_id)
+            contradicted_rows = run_len[run_id] < sizes[objects]
+            per_source_contradicted += np.bincount(
+                view.source_idx[order][contradicted_rows],
+                minlength=dataset.n_sources,
+            )
 
     total_entries = sum(p.n_entries for p in property_profiles)
     source_profiles = [

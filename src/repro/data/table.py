@@ -78,6 +78,25 @@ class PropertyObservations:
         """Number of observed (non-missing) cells."""
         return int(self.observed_mask().sum())
 
+    def density(self) -> float:
+        """Fraction of the ``K x N`` matrix that is observed."""
+        cells = self.values.size
+        return self.n_observations() / cells if cells else 0.0
+
+    def nbytes(self) -> int:
+        """Bytes held by the dense matrix."""
+        return int(self.values.nbytes)
+
+    def dense_nbytes(self) -> int:
+        """Alias of :meth:`nbytes` (this *is* the dense form)."""
+        return self.nbytes()
+
+    def sparse_nbytes(self) -> int:
+        """Bytes the sparse claims form of this property would hold."""
+        from .claims_matrix import claim_nbytes
+        return claim_nbytes(self.n_observations(), self.n_objects,
+                            continuous=self.schema.is_continuous)
+
     def select_objects(self, indices: np.ndarray) -> "PropertyObservations":
         """Column subset (e.g. one stream chunk), sharing the codec."""
         return PropertyObservations(
@@ -93,6 +112,21 @@ class PropertyObservations:
             values=self.values[indices, :],
             codec=self.codec,
         )
+
+    def claim_view(self):
+        """Canonical claim view of the observed cells, cached.
+
+        Both execution backends feed kernels through this view, which is
+        what makes dense and sparse execution bit-identical: the claims
+        are extracted in the same object-major, source-ascending order
+        :class:`~repro.data.claims_matrix.PropertyClaims` stores.
+        """
+        cached = getattr(self, "_claim_view_cache", None)
+        if cached is None:
+            from .claims_matrix import PropertyClaims
+            cached = PropertyClaims.from_dense(self).claim_view()
+            object.__setattr__(self, "_claim_view_cache", cached)
+        return cached
 
 
 class MultiSourceDataset:
@@ -179,6 +213,23 @@ class MultiSourceDataset:
     def n_entries(self) -> int:
         """Number of (object, property) pairs observed by >= 1 source."""
         return sum(int(p.entry_mask().sum()) for p in self.properties)
+
+    def density(self) -> float:
+        """Overall claim density: observations / (K x N x M)."""
+        cells = self.n_sources * self.n_objects * self.n_properties
+        return self.n_observations() / cells if cells else 0.0
+
+    def nbytes(self) -> int:
+        """Bytes held by the dense per-property matrices."""
+        return sum(p.nbytes() for p in self.properties)
+
+    def dense_nbytes(self) -> int:
+        """Alias of :meth:`nbytes` (this *is* the dense form)."""
+        return self.nbytes()
+
+    def sparse_nbytes(self) -> int:
+        """Bytes the sparse claims form of this dataset would hold."""
+        return sum(p.sparse_nbytes() for p in self.properties)
 
     def source_index(self, source_id: Hashable) -> int:
         """Row index of ``source_id``."""
@@ -502,6 +553,60 @@ class DatasetBuilder:
             for i, ts in self._timestamps.items():
                 timestamps[i] = ts
         return MultiSourceDataset(
+            schema=self.schema,
+            source_ids=self._sources,
+            object_ids=self._objects,
+            properties=properties,
+            object_timestamps=timestamps,
+        )
+
+    def build_sparse(self):
+        """Materialize the accumulated observations into a
+        :class:`~repro.data.claims_matrix.ClaimsMatrix` without ever
+        allocating a dense ``K x N`` matrix.
+
+        Later duplicates overwrite earlier ones, matching
+        :meth:`build`.
+        """
+        from .claims_matrix import ClaimsMatrix, PropertyClaims
+        if not self._objects:
+            raise ValueError("no observations were added")
+        k, n = len(self._sources), len(self._objects)
+        properties: list[PropertyClaims] = []
+        for prop in self.schema:
+            cells = self._cells[prop.name]
+            if cells:
+                src = np.array([c[0] for c in cells], dtype=np.int32)
+                obj = np.array([c[1] for c in cells], dtype=np.int32)
+                val = np.array([c[2] for c in cells], dtype=np.float64)
+                # keep only the LAST claim per (source, object) cell,
+                # matching dense build() overwrite semantics
+                order = np.lexsort((np.arange(len(cells)), src, obj))
+                src, obj, val = src[order], obj[order], val[order]
+                cell_key = obj.astype(np.int64) * k + src
+                last = np.ones(len(cells), dtype=bool)
+                last[:-1] = cell_key[1:] != cell_key[:-1]
+                src, obj, val = src[last], obj[last], val[last]
+            else:
+                src = np.empty(0, dtype=np.int32)
+                obj = np.empty(0, dtype=np.int32)
+                val = np.empty(0, dtype=np.float64)
+            properties.append(PropertyClaims(
+                schema=prop,
+                values=(val.astype(np.int32) if prop.uses_codec else val),
+                source_idx=src,
+                object_idx=obj,
+                n_objects=n,
+                n_sources=k,
+                codec=self._codecs.get(prop.name),
+                canonicalize=False,  # already object-major via lexsort
+            ))
+        timestamps = None
+        if self._timestamps:
+            timestamps = np.zeros(n, dtype=np.int64)
+            for i, ts in self._timestamps.items():
+                timestamps[i] = ts
+        return ClaimsMatrix(
             schema=self.schema,
             source_ids=self._sources,
             object_ids=self._objects,

@@ -1,0 +1,28 @@
+"""Execution-backend layer: dense vs sparse claim storage for engines.
+
+See :mod:`repro.engine.backend` for the protocol and the two concrete
+backends; all three CRH engines (solver, MapReduce, streaming) resolve
+their input through :func:`make_backend`.
+"""
+
+from .backend import (
+    BACKEND_NAMES,
+    DenseBackend,
+    ExecutionBackend,
+    SparseBackend,
+    get_default_backend,
+    make_backend,
+    set_default_backend,
+    use_default_backend,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DenseBackend",
+    "ExecutionBackend",
+    "SparseBackend",
+    "get_default_backend",
+    "make_backend",
+    "set_default_backend",
+    "use_default_backend",
+]

@@ -1,0 +1,199 @@
+"""Execution backends: how engines hold and traverse the claims.
+
+The CRH math lives in :mod:`repro.core.kernels` and is representation-
+agnostic — it consumes claim views.  A *backend* decides what the claims
+are stored as:
+
+* :class:`DenseBackend` — a :class:`~repro.data.table.MultiSourceDataset`
+  of ``(K, N)`` matrices with NaN/-1 sentinels; claim views are extracted
+  (and cached) per property.  Right for dense panels where most sources
+  claim most objects.
+* :class:`SparseBackend` — a
+  :class:`~repro.data.claims_matrix.ClaimsMatrix` storing exactly the
+  claims in CSR-by-object form.  Memory is proportional to the number of
+  claims, not ``K x N``; right below ~40% claim density.
+
+Both backends feed kernels the identical canonically-ordered claim view,
+so results are bit-identical — the choice is purely a
+memory/layout trade-off.  :func:`make_backend` resolves a dataset plus a
+``backend`` name (``"auto"``, ``"dense"``, ``"sparse"``) into a backend,
+converting the representation when the request disagrees with the input;
+the module-level default (:func:`set_default_backend` /
+:func:`use_default_backend`) lets harnesses and the CLI steer every
+``"auto"`` resolution without threading a parameter through each call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Protocol, runtime_checkable
+
+from ..data.claims_matrix import ClaimsMatrix
+from ..data.table import MultiSourceDataset
+
+#: valid backend selector names
+BACKEND_NAMES = ("auto", "dense", "sparse")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What an engine needs from a claims holder.
+
+    Both concrete backends delegate to their wrapped dataset, which means
+    any dataset-shaped object (schema / source_ids / object_ids /
+    properties whose items expose ``claim_view()``) can back an engine.
+    """
+
+    #: backend tag carried into trace records ("dense" or "sparse")
+    name: str
+
+    @property
+    def data(self):
+        """The wrapped dataset (dense table or sparse claims matrix)."""
+
+    def n_claims(self) -> int:
+        """Total stored claims across all properties."""
+
+
+class _BackendBase:
+    """Shared delegation plumbing of the two concrete backends."""
+
+    name = "base"
+
+    def __init__(self, data) -> None:
+        self._data = data
+
+    @property
+    def data(self):
+        """The wrapped dataset."""
+        return self._data
+
+    @property
+    def schema(self):
+        """The dataset schema."""
+        return self._data.schema
+
+    @property
+    def source_ids(self):
+        """Source identifiers in weight order."""
+        return self._data.source_ids
+
+    @property
+    def object_ids(self):
+        """Object identifiers in truth-column order."""
+        return self._data.object_ids
+
+    @property
+    def properties(self):
+        """Per-property claim holders (dense matrices or CSR claims)."""
+        return self._data.properties
+
+    @property
+    def n_sources(self) -> int:
+        """Number of sources K."""
+        return self._data.n_sources
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects N."""
+        return self._data.n_objects
+
+    @property
+    def n_properties(self) -> int:
+        """Number of properties M."""
+        return self._data.n_properties
+
+    def codecs(self):
+        """Codecs of codec-backed properties, keyed by name."""
+        return self._data.codecs()
+
+    def n_claims(self) -> int:
+        """Total stored claims across all properties."""
+        return int(self._data.n_observations())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self._data!r})"
+
+
+class DenseBackend(_BackendBase):
+    """Backend over dense ``(K, N)`` observation matrices."""
+
+    name = "dense"
+
+    def __init__(self, data: MultiSourceDataset) -> None:
+        if isinstance(data, ClaimsMatrix):
+            data = data.to_dense()
+        super().__init__(data)
+
+
+class SparseBackend(_BackendBase):
+    """Backend over CSR-by-object sparse claims."""
+
+    name = "sparse"
+
+    def __init__(self, data: ClaimsMatrix) -> None:
+        if isinstance(data, MultiSourceDataset):
+            data = ClaimsMatrix.from_dense(data)
+        super().__init__(data)
+
+
+_default_backend = "auto"
+
+
+def get_default_backend() -> str:
+    """The backend name ``"auto"`` currently resolves through."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> None:
+    """Set what ``backend="auto"`` resolves to process-wide.
+
+    ``"auto"`` restores the built-in behavior (follow the input's
+    representation).  Harnesses and the CLI use this to steer every
+    solver in a run without threading a parameter through each call.
+    """
+    global _default_backend
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"backend must be one of {BACKEND_NAMES}, got {name!r}"
+        )
+    _default_backend = name
+
+
+@contextlib.contextmanager
+def use_default_backend(name: str) -> Iterator[None]:
+    """Temporarily set the default backend (context manager)."""
+    previous = get_default_backend()
+    set_default_backend(name)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
+
+
+def make_backend(data, backend: str = "auto") -> _BackendBase:
+    """Resolve a dataset (or backend) plus a selector into a backend.
+
+    ``backend="auto"`` follows the session default when one was set, and
+    otherwise the input's own representation: a
+    :class:`~repro.data.claims_matrix.ClaimsMatrix` runs sparse, a dense
+    :class:`~repro.data.table.MultiSourceDataset` runs dense.  Explicit
+    ``"dense"``/``"sparse"`` convert the representation when needed.
+    An already-built backend passes through (or converts, when the
+    explicit selector disagrees with it).
+    """
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"backend must be one of {BACKEND_NAMES}, got {backend!r}"
+        )
+    if backend == "auto":
+        backend = get_default_backend()
+    if isinstance(data, _BackendBase):
+        if backend == "auto" or backend == data.name:
+            return data
+        data = data.data
+    if backend == "auto":
+        backend = "sparse" if isinstance(data, ClaimsMatrix) else "dense"
+    if backend == "sparse":
+        return SparseBackend(data)
+    return DenseBackend(data)

@@ -35,6 +35,10 @@ METRIC_FIELDS: dict[str, str] = {
     "n_sources": "number of sources K in the traced dataset",
     "n_objects": "number of objects N in the traced dataset",
     "n_properties": "number of properties M in the traced dataset",
+    "backend": "execution backend the run used: dense ((K, N) matrices) "
+               "or sparse (CSR-by-object claims)",
+    "n_claims": "number of stored claims (observed cells) across all "
+                "properties of the traced dataset",
     "iteration": "1-based iteration index of Algorithm 1's outer loop",
     "objective": "value of the joint objective f(X*, W) after the "
                  "iteration (Eq. 1); non-increasing after the first "
@@ -113,10 +117,19 @@ def _weight_list(weights) -> list[float] | None:
 
 def run_started(method: str, *, n_sources: int | None = None,
                 n_objects: int | None = None,
-                n_properties: int | None = None) -> dict:
-    """A ``run_start`` record: method name plus dataset shape."""
+                n_properties: int | None = None,
+                backend: str | None = None,
+                n_claims: int | None = None) -> dict:
+    """A ``run_start`` record: method name plus dataset shape.
+
+    ``backend`` tags which execution backend the engine resolved
+    (dense/sparse) and ``n_claims`` how many claims it holds — the pair
+    that explains a run's memory footprint.
+    """
     return _record("run_start", method=method, n_sources=n_sources,
-                   n_objects=n_objects, n_properties=n_properties)
+                   n_objects=n_objects, n_properties=n_properties,
+                   backend=backend,
+                   n_claims=None if n_claims is None else int(n_claims))
 
 
 def iteration_record(iteration: int, *, objective: float | None = None,

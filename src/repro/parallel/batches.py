@@ -1,8 +1,10 @@
 """Record preparation for parallel CRH (Section 2.7.1's data format).
 
 Parallel CRH consumes ``(eID, v, sID)`` tuples.  This module flattens a
-dense :class:`~repro.data.table.MultiSourceDataset` into the columnar
-batches the vector MapReduce engine moves around:
+dataset — dense :class:`~repro.data.table.MultiSourceDataset` or sparse
+:class:`~repro.data.claims_matrix.ClaimsMatrix`, anything whose
+properties expose ``claim_view()`` — into the columnar batches the
+vector MapReduce engine moves around:
 
 * continuous observations — entry ids in the *continuous entry space*
   (``cont_property_index * N + object_index``), float values;
@@ -18,8 +20,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..data.records import encoded_record_arrays
-from ..data.table import MultiSourceDataset
 from ..mapreduce.vector import KeyedArrays
 
 #: kind discriminator values in the combined batch
@@ -58,8 +58,13 @@ class RecordBatches:
         return len(self.combined)
 
 
-def prepare_batches(dataset: MultiSourceDataset) -> RecordBatches:
+def prepare_batches(dataset) -> RecordBatches:
     """Flatten a dataset into parallel-CRH record batches.
+
+    ``dataset`` may be dense or sparse; batches are built from each
+    property's canonical claim view, so both representations produce
+    identical batches (entry-key sort is stable and the view is
+    object-major with ascending sources).
 
     Text properties are not supported by the MapReduce pipeline (their
     weighted-medoid truth update needs pairwise edit distances, which do
@@ -72,7 +77,6 @@ def prepare_batches(dataset: MultiSourceDataset) -> RecordBatches:
                 f"parallel CRH does not support text property "
                 f"{prop.name!r}; use repro.core.CRHSolver instead"
             )
-    arrays = encoded_record_arrays(dataset)
     n = dataset.n_objects
 
     cont_props = tuple(dataset.schema.continuous_indices)
@@ -80,17 +84,17 @@ def prepare_batches(dataset: MultiSourceDataset) -> RecordBatches:
 
     cont_keys, cont_vals, cont_srcs = [], [], []
     for slot, m in enumerate(cont_props):
-        cols = arrays[dataset.schema[m].name]
-        cont_keys.append(slot * np.int64(n) + cols["object"].astype(np.int64))
-        cont_vals.append(cols["value"].astype(np.float64))
-        cont_srcs.append(cols["source"])
+        view = dataset.properties[m].claim_view()
+        cont_keys.append(slot * np.int64(n) + view.object_idx.astype(np.int64))
+        cont_vals.append(view.values.astype(np.float64))
+        cont_srcs.append(view.source_idx.astype(np.int32))
     cat_keys, cat_codes, cat_srcs = [], [], []
     code_space = 1
     for slot, m in enumerate(cat_props):
-        cols = arrays[dataset.schema[m].name]
-        cat_keys.append(slot * np.int64(n) + cols["object"].astype(np.int64))
-        cat_codes.append(cols["value"].astype(np.int32))
-        cat_srcs.append(cols["source"])
+        view = dataset.properties[m].claim_view()
+        cat_keys.append(slot * np.int64(n) + view.object_idx.astype(np.int64))
+        cat_codes.append(view.values.astype(np.int32))
+        cat_srcs.append(view.source_idx.astype(np.int32))
         code_space = max(code_space,
                          len(dataset.properties[m].codec))
 

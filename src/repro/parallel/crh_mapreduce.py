@@ -26,9 +26,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core import kernels
 from ..core.regularizers import ExponentialWeights, WeightScheme
 from ..data.encoding import MISSING_CODE
-from ..data.table import MultiSourceDataset, TruthTable
+from ..data.table import TruthTable
+from ..engine import BACKEND_NAMES, make_backend
 from ..observability import iteration_record, run_finished, run_started
 from ..observability.tracer import Tracer
 from ..mapreduce.cost import ClusterCostModel
@@ -58,6 +60,11 @@ class ParallelCRHConfig:
     computes the matching deviation.  Section 2.7 notes the procedure
     "can work with various loss functions", and both published
     continuous losses are supported here.
+
+    ``backend`` picks the claim storage the batches are built from
+    (``"auto"`` follows the input's representation; see
+    :func:`repro.engine.make_backend`) — both backends flatten to
+    identical record batches.
     """
 
     n_mappers: int = 4
@@ -69,12 +76,18 @@ class ParallelCRHConfig:
         default_factory=lambda: ExponentialWeights(normalizer="max")
     )
     cost_model: ClusterCostModel = field(default_factory=ClusterCostModel)
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.continuous_loss not in ("absolute", "squared"):
             raise ValueError(
                 f"continuous_loss must be 'absolute' or 'squared', "
                 f"got {self.continuous_loss!r}"
+            )
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, "
+                f"got {self.backend!r}"
             )
 
     def cluster_config(self) -> ClusterConfig:
@@ -117,118 +130,46 @@ class ParallelCRHResult:
 
 def _segment_weighted_median(grouped: GroupedArrays,
                              source_weights: np.ndarray) -> KeyedArrays:
-    """Weighted median (Eq. 16) of every group, fully vectorized.
+    """Weighted median (Eq. 16) of every group — the kernel, re-keyed.
 
-    Rows arrive sorted by entry key; we re-sort by (key, value), build
-    within-group cumulative weights, and pick the first row where the
-    cumulative weight reaches half the group total.
+    Rows arrive grouped by entry key, so ``grouped.starts`` is exactly a
+    CSR row pointer over the groups and
+    :func:`repro.core.kernels.segment_weighted_median` applies directly.
     """
-    keys = grouped.sorted.keys
-    values = grouped.sorted.values["value"]
     weights = source_weights[grouped.sorted.values["source"]]
-    order = np.lexsort((values, keys))
-    keys = keys[order]
-    values = values[order]
-    weights = weights[order]
-    starts = grouped.starts  # group sizes are order-invariant
-
-    totals = np.add.reduceat(weights, starts[:-1])
-    # Groups whose claims all carry zero weight fall back to uniform.
-    zero = totals <= 0
-    if zero.any():
-        group_of_row = np.repeat(np.arange(grouped.n_groups),
-                                 grouped.segment_count())
-        weights = np.where(zero[group_of_row], 1.0, weights)
-        totals = np.add.reduceat(weights, starts[:-1])
-
-    cumulative = np.cumsum(weights)
-    offsets = np.concatenate([[0.0], cumulative[starts[1:-1] - 1]]) \
-        if grouped.n_groups > 1 else np.zeros(1)
-    group_of_row = np.repeat(np.arange(grouped.n_groups),
-                             grouped.segment_count())
-    within = cumulative - offsets[group_of_row]
-    half = totals[group_of_row] / 2.0
-    crossing = (within >= half - 1e-12) & (within - weights < half - 1e-12)
-    # Exactly one crossing per group; guard against float pathologies by
-    # falling back to the group's last row.
-    chosen = np.full(grouped.n_groups, -1, dtype=np.int64)
-    rows = np.flatnonzero(crossing)
-    chosen[group_of_row[rows]] = rows  # later rows overwrite; any is valid
-    missing = chosen < 0
-    if missing.any():
-        chosen[missing] = starts[1:][missing] - 1
-    return KeyedArrays(
-        keys=grouped.group_keys,
-        values={"truth": values[chosen]},
+    truth = kernels.segment_weighted_median(
+        grouped.sorted.values["value"], weights, grouped.starts
     )
+    return KeyedArrays(keys=grouped.group_keys, values={"truth": truth})
 
 
 def _segment_weighted_vote(grouped: GroupedArrays,
                            source_weights: np.ndarray,
                            code_space: int) -> KeyedArrays:
-    """Weighted vote (Eq. 9) of every group, fully vectorized."""
-    keys = grouped.sorted.keys
-    codes = grouped.sorted.values["code"].astype(np.int64)
+    """Weighted vote (Eq. 9) of every group — the kernel, re-keyed."""
     weights = source_weights[grouped.sorted.values["source"]]
-    totals = np.add.reduceat(weights, grouped.starts[:-1])
-    zero = totals <= 0
-    if zero.any():
-        group_of_row = np.repeat(np.arange(grouped.n_groups),
-                                 grouped.segment_count())
-        weights = np.where(zero[group_of_row], 1.0, weights)
-
-    composite = keys * code_space + codes
-    order = np.argsort(composite, kind="stable")
-    comp_sorted = composite[order]
-    w_sorted = weights[order]
-    unique_comp, first = np.unique(comp_sorted, return_index=True)
-    scores = np.add.reduceat(w_sorted, first)
-    entries = unique_comp // code_space
-    winning_codes = unique_comp % code_space
-    # argmax score within each entry: sort by (entry, score) and take the
-    # last element of each entry block.
-    pick = np.lexsort((scores, entries))
-    entry_sorted = entries[pick]
-    boundaries = np.flatnonzero(
-        np.diff(np.concatenate([entry_sorted, [-1]]))
+    truth = kernels.segment_weighted_vote(
+        grouped.sorted.values["code"], weights, grouped.starts,
+        n_categories=code_space,
     )
-    winners = pick[boundaries]
-    return KeyedArrays(
-        keys=entries[winners],
-        values={"truth": winning_codes[winners].astype(np.int32)},
-    )
+    return KeyedArrays(keys=grouped.group_keys, values={"truth": truth})
 
 
 def _segment_weighted_mean(grouped: GroupedArrays,
                            source_weights: np.ndarray) -> KeyedArrays:
     """Weighted mean (Eq. 14) of every group — the squared-loss reducer."""
     weights = source_weights[grouped.sorted.values["source"]]
-    totals = np.add.reduceat(weights, grouped.starts[:-1])
-    zero = totals <= 0
-    if zero.any():
-        group_of_row = np.repeat(np.arange(grouped.n_groups),
-                                 grouped.segment_count())
-        weights = np.where(zero[group_of_row], 1.0, weights)
-        totals = np.add.reduceat(weights, grouped.starts[:-1])
-    sums = np.add.reduceat(
-        grouped.sorted.values["value"] * weights, grouped.starts[:-1]
+    truth = kernels.segment_weighted_mean(
+        grouped.sorted.values["value"], weights, grouped.starts
     )
-    return KeyedArrays(
-        keys=grouped.group_keys,
-        values={"truth": sums / totals},
-    )
+    return KeyedArrays(keys=grouped.group_keys, values={"truth": truth})
 
 
 def _segment_statistics(grouped: GroupedArrays) -> KeyedArrays:
-    """Per-entry count / sum / sum-of-squares (the std preprocessing job)."""
-    values = grouped.sorted.values["value"]
-    count = grouped.segment_count().astype(np.float64)
-    total = np.add.reduceat(values, grouped.starts[:-1])
-    total_sq = np.add.reduceat(values ** 2, grouped.starts[:-1])
-    return KeyedArrays(
-        keys=grouped.group_keys,
-        values={"count": count, "sum": total, "sum_sq": total_sq},
-    )
+    """Per-entry std (the Eqs. 13/15 normalizer preprocessing job)."""
+    std = kernels.segment_std(grouped.sorted.values["value"],
+                              grouped.starts)
+    return KeyedArrays(keys=grouped.group_keys, values={"std": std})
 
 
 def _segment_error_sums(grouped: GroupedArrays) -> KeyedArrays:
@@ -246,11 +187,16 @@ def _segment_error_sums(grouped: GroupedArrays) -> KeyedArrays:
 # driver
 # ----------------------------------------------------------------------
 
-def parallel_crh(dataset: MultiSourceDataset,
+def parallel_crh(dataset,
                  config: ParallelCRHConfig | None = None,
                  tracer: Tracer | None = None,
                  ) -> ParallelCRHResult:
     """Run CRH as iterated MapReduce jobs (the Section 2.7 wrapper).
+
+    ``dataset`` may be a dense
+    :class:`~repro.data.table.MultiSourceDataset` or a sparse
+    :class:`~repro.data.claims_matrix.ClaimsMatrix`; the config's
+    ``backend`` decides the claim storage the batches flatten from.
 
     With a :class:`~repro.observability.Tracer`, the run emits one
     ``mapreduce_job`` record per executed job (volumes + simulated
@@ -260,6 +206,8 @@ def parallel_crh(dataset: MultiSourceDataset,
     """
     started = time.perf_counter()
     config = config or ParallelCRHConfig()
+    backend = make_backend(dataset, config.backend)
+    dataset = backend.data
     batches = prepare_batches(dataset)
     cluster = VectorCluster(config.cluster_config(), tracer=tracer)
     store = SideFileStore()
@@ -271,6 +219,8 @@ def parallel_crh(dataset: MultiSourceDataset,
             n_sources=dataset.n_sources,
             n_objects=dataset.n_objects,
             n_properties=len(dataset.schema),
+            backend=backend.name,
+            n_claims=backend.n_claims(),
         ))
 
     def record(name: str, result) -> None:
@@ -293,14 +243,7 @@ def parallel_crh(dataset: MultiSourceDataset,
         )
         result = cluster.run(stats_job, batches.continuous)
         record(stats_job.name, result)
-        keys = result.output.keys
-        count = result.output.values["count"]
-        mean = result.output.values["sum"] / count
-        variance = result.output.values["sum_sq"] / count - mean ** 2
-        entry_std = np.sqrt(np.maximum(variance, 0.0))
-        entry_std = np.where((count < 2) | (entry_std <= 1e-12),
-                             1.0, entry_std)
-        std[keys] = entry_std
+        std[result.output.keys] = result.output.values["std"]
     store.write(_STD_FILE, std)
 
     # --- wrapper: initialize weights uniformly at 1/K ------------------
@@ -331,17 +274,15 @@ def parallel_crh(dataset: MultiSourceDataset,
         is_cont = kind == KIND_CONTINUOUS
         error = np.empty(len(split))
         if is_cont.any():
-            e = entry[is_cont]
-            residual = value[is_cont] - truths_c[e]
-            if config.continuous_loss == "squared":
-                error[is_cont] = residual ** 2 / stds[e]      # Eq. 13
-            else:
-                error[is_cont] = np.abs(residual) / stds[e]   # Eq. 15
+            deviate = (kernels.squared_claim_deviations        # Eq. 13
+                       if config.continuous_loss == "squared"
+                       else kernels.absolute_claim_deviations)  # Eq. 15
+            error[is_cont] = deviate(value[is_cont], truths_c, stds,
+                                     entry[is_cont])
         if (~is_cont).any():
-            e = entry[~is_cont]
-            error[~is_cont] = (
-                value[~is_cont] != truths_k[e]
-            ).astype(np.float64)
+            error[~is_cont] = kernels.zero_one_claim_deviations(  # Eq. 8
+                value[~is_cont], truths_k, entry[~is_cont]
+            )
         # Entries whose truth is still unset contribute nothing.
         error = np.nan_to_num(error, nan=0.0)
         return KeyedArrays(
@@ -426,7 +367,7 @@ def parallel_crh(dataset: MultiSourceDataset,
     )
 
 
-def _assemble_truths(dataset: MultiSourceDataset, batches: RecordBatches,
+def _assemble_truths(dataset, batches: RecordBatches,
                      truth_cont: np.ndarray,
                      truth_cat: np.ndarray) -> TruthTable:
     """Slice the flat truth arrays back into per-property columns."""

@@ -23,13 +23,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.kernels import accumulate_source_deviations
 from ..core.losses import Loss, loss_by_name
 from ..core.regularizers import ExponentialWeights, WeightScheme
 from ..core.result import TruthDiscoveryResult
 from ..core.solver import states_to_truth_table
 from ..data.encoding import MISSING_CODE
 from ..data.schema import PropertyKind
-from ..data.table import MultiSourceDataset, TruthTable
+from ..data.table import TruthTable
+from ..engine import BACKEND_NAMES, make_backend
 from ..observability import run_finished, run_started, stream_chunk_record
 from ..observability.tracer import Tracer
 from .windows import StreamChunk, chunk_by_window
@@ -41,8 +43,10 @@ class ICRHConfig:
 
     ``decay`` is the paper's ``alpha`` in [0, 1]: the impact of historical
     data on the current weight estimate (0 = only the newest chunk
-    matters, 1 = all history counts equally).  Loss and weight-scheme
-    choices mirror :class:`~repro.core.solver.CRHConfig`.
+    matters, 1 = all history counts equally).  Loss, weight-scheme and
+    ``backend`` choices mirror :class:`~repro.core.solver.CRHConfig`;
+    each arriving chunk is resolved through
+    :func:`repro.engine.make_backend`.
     """
 
     decay: float = 0.5
@@ -53,10 +57,16 @@ class ICRHConfig:
         default_factory=lambda: ExponentialWeights(normalizer="max")
     )
     normalize_by_counts: bool = True
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.decay <= 1.0:
             raise ValueError(f"decay must be in [0, 1], got {self.decay}")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, "
+                f"got {self.backend!r}"
+            )
 
 
 class IncrementalCRH:
@@ -114,7 +124,7 @@ class IncrementalCRH:
     def chunks_seen(self) -> int:
         return self._chunks_seen
 
-    def _positions_for(self, chunk: MultiSourceDataset) -> np.ndarray:
+    def _positions_for(self, chunk) -> np.ndarray:
         """Accumulator positions of the chunk's sources, registering
         first-time sources (a new source starts with ``a_k = 0`` and
         weight 1, exactly Algorithm 2's line-1 initialization)."""
@@ -132,7 +142,7 @@ class IncrementalCRH:
         return positions
 
     # ------------------------------------------------------------------
-    def _losses_for(self, dataset: MultiSourceDataset) -> list[Loss]:
+    def _losses_for(self, dataset) -> list[Loss]:
         losses: list[Loss] = []
         for prop in dataset.schema:
             if prop.kind is PropertyKind.CATEGORICAL:
@@ -144,19 +154,22 @@ class IncrementalCRH:
             losses.append(loss_by_name(name))
         return losses
 
-    def partial_fit(self, chunk: MultiSourceDataset) -> TruthTable:
+    def partial_fit(self, chunk) -> TruthTable:
         """Process one chunk: truths from current weights, then update.
 
-        Chunks align sources by *identifier*, so the stream's source set
-        may evolve: a previously unseen source joins with zero
-        accumulated distance and weight 1 (Algorithm 2 line 1), and
-        sources absent from a chunk simply contribute nothing while
-        their history keeps decaying.
+        ``chunk`` may be dense or sparse; it is resolved through the
+        config's ``backend`` selector.  Chunks align sources by
+        *identifier*, so the stream's source set may evolve: a
+        previously unseen source joins with zero accumulated distance
+        and weight 1 (Algorithm 2 line 1), and sources absent from a
+        chunk simply contribute nothing while their history keeps
+        decaying.
 
         When a tracer was given at construction, each call emits one
         ``chunk`` record (weights, weight delta, arrival counters).
         """
         tracing = self.tracer is not None and self.tracer.enabled
+        chunk = make_backend(chunk, self.config.backend).data
         known_sources = len(self._source_ids)
         positions = self._positions_for(chunk)
         new_sources = len(self._source_ids) - known_sources
@@ -173,9 +186,12 @@ class IncrementalCRH:
         chunk_dev = np.zeros(chunk.n_sources)
         chunk_cnt = np.zeros(chunk.n_sources)
         for loss, prop, state in zip(losses, chunk.properties, states):
-            dev = loss.deviations(state, prop)
-            chunk_dev += np.nansum(dev, axis=1)
-            chunk_cnt += (~np.isnan(dev)).sum(axis=1)
+            dev = loss.claim_deviations(state, prop)
+            totals, counts = accumulate_source_deviations(
+                dev, prop.claim_view().source_idx, chunk.n_sources
+            )
+            chunk_dev += totals
+            chunk_cnt += counts
         alpha = self.config.decay
         if self._chunks_seen:
             self.decay_applications += 1
@@ -234,18 +250,22 @@ class ICRHResult:
         return self.result.weights
 
 
-def icrh(dataset: MultiSourceDataset, window: int = 1,
+def icrh(dataset, window: int = 1,
          config: ICRHConfig | None = None,
          tracer: Tracer | None = None) -> ICRHResult:
     """Run I-CRH over a timestamped dataset, chunking by time window.
 
-    Returns the stitched truth table over all objects (aligned with
-    ``dataset``), the final weights, and the per-chunk weight history.
-    With a tracer, emits ``run_start``, one ``chunk`` record per window,
-    and a ``run_end`` carrying the stream counters.
+    ``dataset`` may be dense or sparse; it is resolved once through the
+    config's ``backend`` selector and chunk views inherit that
+    representation.  Returns the stitched truth table over all objects
+    (aligned with ``dataset``), the final weights, and the per-chunk
+    weight history.  With a tracer, emits ``run_start``, one ``chunk``
+    record per window, and a ``run_end`` carrying the stream counters.
     """
     started = time.perf_counter()
     config = config or ICRHConfig()
+    backend = make_backend(dataset, config.backend)
+    dataset = backend.data
     model = IncrementalCRH(config, tracer=tracer)
     tracing = tracer is not None and tracer.enabled
     if tracing:
@@ -254,6 +274,8 @@ def icrh(dataset: MultiSourceDataset, window: int = 1,
             n_sources=dataset.n_sources,
             n_objects=dataset.n_objects,
             n_properties=len(dataset.schema),
+            backend=backend.name,
+            n_claims=backend.n_claims(),
         ))
     columns: list[np.ndarray] = []
     for prop in dataset.schema:

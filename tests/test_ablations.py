@@ -61,6 +61,7 @@ class TestRunners:
         result = run_ablation_finegrained(seeds=(1, 2))
         assert len(result.rows) == 2
 
+    @pytest.mark.slow
     def test_losses(self):
         result = run_ablation_losses(seeds=(1,))
         assert result.row("squared+zero_one")[2] > \

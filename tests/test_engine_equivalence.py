@@ -1,0 +1,226 @@
+"""Dense/sparse backend equivalence fuzz suite.
+
+The ISSUE's central invariant: the execution backend is a memory/layout
+choice, never a numerical one.  Every engine (batch solver, MapReduce,
+streaming) must produce **bit-identical** truths, weights and objective
+history on the dense and sparse backends, across loss configurations,
+on adversarial inputs (varying sparsity, value ties, all-missing
+sources and objects).
+
+The slow test at the bottom asserts the memory win the sparse backend
+exists for: >= 5x lower peak footprint on a 5%-density workload.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.solver import CRHConfig, CRHSolver, crh
+from repro.data import (
+    ClaimsMatrix,
+    DatasetBuilder,
+    DatasetSchema,
+    categorical,
+    claims_from_arrays,
+    continuous,
+)
+from repro.parallel import ParallelCRHConfig, parallel_crh
+from repro.streaming import ICRHConfig, icrh
+
+LOSS_CONFIGS = [
+    ("zero_one", "absolute"),
+    ("zero_one", "squared"),
+    ("probability", "absolute"),
+    ("probability", "squared"),
+]
+
+
+def _fuzz_dataset(seed, k=8, n=40, density=0.45, timestamps=True):
+    """Random mixed dataset with ties, empty sources and empty objects."""
+    rng = np.random.default_rng(seed)
+    schema = DatasetSchema.of(
+        continuous("temp"), categorical("cond"), continuous("wind")
+    )
+    builder = DatasetBuilder(schema)
+    dead_source = int(rng.integers(0, k))      # claims nothing
+    dead_object = int(rng.integers(0, n))      # nothing claimed about it
+    labels = ["a", "b", "c", "d"]
+    added = False
+    for src in range(k):
+        for obj in range(n):
+            if src == dead_source or obj == dead_object:
+                continue
+            stamp = (obj % 4) if timestamps else 0
+            if rng.random() < density:
+                # Round half the values so exact ties exercise the
+                # median half-mass rule and the vote tie-break.
+                value = float(rng.normal(10, 4))
+                if rng.random() < 0.5:
+                    value = round(value)
+                builder.add(f"o{obj}", f"s{src}", "temp", value,
+                            timestamp=stamp)
+                added = True
+            if rng.random() < density:
+                builder.add(f"o{obj}", f"s{src}", "cond",
+                            labels[int(rng.integers(0, 4))],
+                            timestamp=stamp)
+            if rng.random() < density * 0.5:
+                builder.add(f"o{obj}", f"s{src}", "wind",
+                            float(rng.exponential(5)), timestamp=stamp)
+    assert added
+    return builder.build()
+
+
+def _assert_truths_equal(a, b):
+    for col_a, col_b in zip(a.columns, b.columns):
+        assert np.array_equal(col_a, col_b, equal_nan=True)
+
+
+class TestSolverEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("cat_loss,cont_loss", LOSS_CONFIGS)
+    def test_dense_sparse_bit_identical(self, seed, cat_loss, cont_loss):
+        dataset = _fuzz_dataset(seed)
+        results = {
+            name: crh(dataset, categorical_loss=cat_loss,
+                      continuous_loss=cont_loss, backend=name,
+                      max_iterations=12)
+            for name in ("dense", "sparse")
+        }
+        _assert_truths_equal(results["dense"].truths,
+                             results["sparse"].truths)
+        assert np.array_equal(results["dense"].weights,
+                              results["sparse"].weights)
+        assert results["dense"].objective_history \
+            == results["sparse"].objective_history
+        assert results["dense"].iterations == results["sparse"].iterations
+
+    def test_sparse_input_auto_backend(self):
+        dataset = _fuzz_dataset(7)
+        sparse_input = ClaimsMatrix.from_dense(dataset)
+        from_dense = crh(dataset, backend="dense", max_iterations=10)
+        from_sparse = crh(sparse_input, max_iterations=10)  # auto -> sparse
+        _assert_truths_equal(from_dense.truths, from_sparse.truths)
+        assert np.array_equal(from_dense.weights, from_sparse.weights)
+        assert from_dense.objective_history == from_sparse.objective_history
+
+    def test_extreme_sparsity(self):
+        dataset = _fuzz_dataset(11, k=12, n=80, density=0.06)
+        dense = crh(dataset, backend="dense", max_iterations=10)
+        sparse = crh(dataset, backend="sparse", max_iterations=10)
+        _assert_truths_equal(dense.truths, sparse.truths)
+        assert np.array_equal(dense.weights, sparse.weights)
+
+    def test_solver_class_honors_config_backend(self):
+        dataset = _fuzz_dataset(3)
+        dense = CRHSolver(CRHConfig(backend="dense",
+                                    max_iterations=8)).fit(dataset)
+        sparse = CRHSolver(CRHConfig(backend="sparse",
+                                     max_iterations=8)).fit(dataset)
+        assert np.array_equal(dense.weights, sparse.weights)
+        _assert_truths_equal(dense.truths, sparse.truths)
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("cont_loss", ["absolute", "squared"])
+    def test_dense_sparse_bit_identical(self, seed, cont_loss):
+        dataset = _fuzz_dataset(seed + 20, k=6, n=25)
+        results = {
+            name: parallel_crh(dataset, ParallelCRHConfig(
+                continuous_loss=cont_loss, backend=name,
+                max_iterations=6,
+            ))
+            for name in ("dense", "sparse")
+        }
+        _assert_truths_equal(results["dense"].truths,
+                             results["sparse"].truths)
+        assert np.array_equal(results["dense"].weights,
+                              results["sparse"].weights)
+        assert results["dense"].iterations == results["sparse"].iterations
+
+    def test_parallel_matches_serial_on_sparse_backend(self):
+        """Section 2.7's exactness claim must survive the sparse path."""
+        dataset = _fuzz_dataset(31, k=6, n=25)
+        serial = crh(dataset, backend="sparse")
+        parallel = parallel_crh(dataset, ParallelCRHConfig(
+            backend="sparse", max_iterations=100,
+        ))
+        _assert_truths_equal(serial.truths, parallel.truths)
+        np.testing.assert_allclose(parallel.weights, serial.weights,
+                                   atol=1e-9)
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dense_sparse_bit_identical(self, seed):
+        dataset = _fuzz_dataset(seed + 40, k=6, n=30)
+        results = {
+            name: icrh(dataset, window=1,
+                       config=ICRHConfig(backend=name))
+            for name in ("dense", "sparse")
+        }
+        _assert_truths_equal(results["dense"].truths,
+                             results["sparse"].truths)
+        assert np.array_equal(results["dense"].weights,
+                              results["sparse"].weights)
+        assert np.array_equal(results["dense"].weight_history,
+                              results["sparse"].weight_history)
+        assert results["dense"].chunk_sizes == results["sparse"].chunk_sizes
+
+
+def _synthetic_sparse(k, n, density, seed=0):
+    """Build a sparse continuous workload without any dense allocation."""
+    rng = np.random.default_rng(seed)
+    schema = DatasetSchema.of(
+        continuous("p0"), continuous("p1"), continuous("p2")
+    )
+    target = int(k * n * density)
+    columns = {}
+    for m, name in enumerate(schema.names()):
+        cells = np.unique(
+            rng.integers(0, k * n, int(target * 1.2), dtype=np.int64)
+        )[:target]
+        source_idx = (cells // n).astype(np.int32)
+        object_idx = (cells % n).astype(np.int32)
+        values = rng.normal(float(m), 1.0, len(cells))
+        columns[name] = (values, source_idx, object_idx)
+    return claims_from_arrays(
+        schema,
+        source_ids=[f"s{i}" for i in range(k)],
+        object_ids=np.arange(n),
+        columns=columns,
+    )
+
+
+def _peak_bytes(dataset, backend):
+    tracemalloc.start()
+    try:
+        crh(dataset, backend=backend, max_iterations=3)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+@pytest.mark.slow
+class TestMemoryFootprint:
+    def test_sparse_peak_at_least_5x_lower(self):
+        """ISSUE acceptance: K=50, N=100k, 5% density -> >= 5x win."""
+        dataset = _synthetic_sparse(k=50, n=100_000, density=0.05)
+        sparse_peak = _peak_bytes(dataset, "sparse")
+        dense_peak = _peak_bytes(dataset, "dense")
+        ratio = dense_peak / sparse_peak
+        assert ratio >= 5.0, (
+            f"dense peak {dense_peak / 2**20:.1f} MiB, sparse peak "
+            f"{sparse_peak / 2**20:.1f} MiB - only {ratio:.1f}x"
+        )
+
+    def test_backends_still_identical_at_scale(self):
+        dataset = _synthetic_sparse(k=20, n=5_000, density=0.05, seed=3)
+        dense = crh(dataset, backend="dense", max_iterations=5)
+        sparse = crh(dataset, backend="sparse", max_iterations=5)
+        _assert_truths_equal(dense.truths, sparse.truths)
+        assert np.array_equal(dense.weights, sparse.weights)
+        assert dense.objective_history == sparse.objective_history

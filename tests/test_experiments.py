@@ -145,6 +145,7 @@ class TestFigureRunners:
         spread = max(sweep.error_rates) - min(sweep.error_rates)
         assert spread < 0.08
 
+    @pytest.mark.slow
     def test_fig8_sweet_spot(self):
         result = run_fig8(
             reducer_counts=(2, 10, 25),

@@ -125,7 +125,7 @@ class TestExamplesRun:
         "quickstart.py",
         "weather_fusion.py",
         "streaming_sensors.py",
-        "deepweb_integration.py",
+        pytest.param("deepweb_integration.py", marks=pytest.mark.slow),
         "entity_resolution.py",
         "custom_losses.py",
     ])

@@ -1,0 +1,220 @@
+"""Unit tests for the shared execution kernels (repro.core.kernels).
+
+Every segment kernel is checked against the scalar oracles in
+``repro.core.weighted_stats`` on randomized segmented inputs, plus the
+edge cases the engines rely on: empty segments, zero-total-weight
+segments, value ties, and single-claim segments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.weighted_stats import (
+    column_std,
+    weighted_mean,
+    weighted_median,
+    weighted_mode,
+)
+from repro.data.encoding import MISSING_CODE
+
+
+def _random_segments(rng, n_groups, max_size=6, allow_empty=True):
+    """Random CSR layout: (values, weights, indptr) with some empties."""
+    sizes = rng.integers(0 if allow_empty else 1, max_size + 1, n_groups)
+    indptr = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    n = int(indptr[-1])
+    values = rng.normal(0.0, 3.0, n)
+    # Inject ties so the half-mass rule's ordering matters.
+    ties = rng.random(n) < 0.3
+    values[ties] = np.round(values[ties])
+    weights = rng.random(n)
+    weights[rng.random(n) < 0.2] = 0.0
+    return values, weights, indptr
+
+
+class TestSegmentReductions:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_weighted_median_matches_scalar_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        values, weights, indptr = _random_segments(rng, 40)
+        result = kernels.segment_weighted_median(values, weights, indptr)
+        for g in range(40):
+            lo, hi = indptr[g], indptr[g + 1]
+            if lo == hi:
+                assert np.isnan(result[g])
+            else:
+                expected = weighted_median(values[lo:hi], weights[lo:hi])
+                assert result[g] == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_weighted_mean_matches_scalar_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        values, weights, indptr = _random_segments(rng, 40)
+        result = kernels.segment_weighted_mean(values, weights, indptr)
+        for g in range(40):
+            lo, hi = indptr[g], indptr[g + 1]
+            if lo == hi:
+                assert np.isnan(result[g])
+            else:
+                expected = weighted_mean(values[lo:hi], weights[lo:hi])
+                assert result[g] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_weighted_vote_matches_scalar_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        _, weights, indptr = _random_segments(rng, 40)
+        n = int(indptr[-1])
+        codes = rng.integers(0, 4, n).astype(np.int32)
+        result = kernels.segment_weighted_vote(codes, weights, indptr,
+                                               n_categories=4)
+        for g in range(40):
+            lo, hi = indptr[g], indptr[g + 1]
+            if lo == hi:
+                assert result[g] == MISSING_CODE
+            else:
+                w = weights[lo:hi]
+                if w.sum() <= 0:   # the kernels' uniform fallback
+                    w = np.ones_like(w)
+                expected = weighted_mode(codes[lo:hi], w, 4)
+                assert result[g] == expected
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_segment_std_matches_column_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        values, _, indptr = _random_segments(rng, 30)
+        result = kernels.segment_std(values, indptr)
+        for g in range(30):
+            lo, hi = indptr[g], indptr[g + 1]
+            column = np.full((hi - lo, 1), np.nan)
+            column[:, 0] = values[lo:hi]
+            if lo == hi:
+                assert result[g] == 1.0
+            else:
+                assert result[g] == pytest.approx(
+                    float(column_std(column)[0])
+                )
+
+    def test_label_distribution_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        _, weights, indptr = _random_segments(rng, 25)
+        weights = weights + 0.05  # keep totals positive
+        codes = rng.integers(0, 3, int(indptr[-1])).astype(np.int32)
+        distribution, column = kernels.segment_label_distribution(
+            codes, weights, indptr, n_categories=3
+        )
+        sizes = np.diff(indptr)
+        sums = distribution.sum(axis=0)
+        assert np.allclose(sums[sizes > 0], 1.0)
+        assert np.all(sums[sizes == 0] == 0.0)
+        assert np.all(column[sizes == 0] == MISSING_CODE)
+        assert np.array_equal(
+            column[sizes > 0],
+            distribution.argmax(axis=0).astype(np.int32)[sizes > 0],
+        )
+
+
+class TestEdgeCases:
+    def test_all_segments_empty(self):
+        indptr = np.zeros(4, dtype=np.int64)
+        empty = np.empty(0)
+        assert np.all(np.isnan(
+            kernels.segment_weighted_mean(empty, empty, indptr)
+        ))
+        assert np.all(np.isnan(
+            kernels.segment_weighted_median(empty, empty, indptr)
+        ))
+        votes = kernels.segment_weighted_vote(
+            empty.astype(np.int32), empty, indptr, n_categories=2
+        )
+        assert np.all(votes == MISSING_CODE)
+
+    def test_zero_weight_group_falls_back_to_uniform(self):
+        values = np.array([1.0, 5.0, 9.0])
+        weights = np.zeros(3)
+        indptr = np.array([0, 3], dtype=np.int64)
+        # Uniform fallback: plain median / plain mean.
+        assert kernels.segment_weighted_median(values, weights,
+                                               indptr)[0] == 5.0
+        assert kernels.segment_weighted_mean(values, weights,
+                                             indptr)[0] == 5.0
+
+    def test_vote_tie_breaks_toward_smallest_code(self):
+        codes = np.array([2, 0], dtype=np.int32)
+        weights = np.ones(2)
+        indptr = np.array([0, 2], dtype=np.int64)
+        assert kernels.segment_weighted_vote(codes, weights, indptr,
+                                             n_categories=3)[0] == 0
+
+    def test_median_half_mass_rule(self):
+        # Cumulative weight reaches exactly W/2 at the first value.
+        values = np.array([1.0, 2.0])
+        weights = np.array([0.5, 0.5])
+        indptr = np.array([0, 2], dtype=np.int64)
+        assert kernels.segment_weighted_median(values, weights,
+                                               indptr)[0] == 1.0
+
+    def test_interleaved_empty_segments(self):
+        values = np.array([3.0, 7.0])
+        weights = np.ones(2)
+        indptr = np.array([0, 0, 1, 1, 2, 2], dtype=np.int64)
+        result = kernels.segment_weighted_mean(values, weights, indptr)
+        assert np.isnan(result[0])
+        assert result[1] == 3.0
+        assert np.isnan(result[2])
+        assert result[3] == 7.0
+        assert np.isnan(result[4])
+
+
+class TestClaimDeviations:
+    def test_zero_one(self):
+        codes = np.array([0, 1, 1], dtype=np.int32)
+        truths = np.array([0, 0], dtype=np.int32)
+        object_idx = np.array([0, 0, 1], dtype=np.int32)
+        dev = kernels.zero_one_claim_deviations(codes, truths, object_idx)
+        assert dev.tolist() == [0.0, 1.0, 1.0]
+
+    def test_probability_closed_form(self):
+        distribution = np.array([[0.75, 0.0], [0.25, 1.0]])
+        codes = np.array([0, 1, 1], dtype=np.int32)
+        object_idx = np.array([0, 0, 1], dtype=np.int32)
+        dev = kernels.probability_claim_deviations(codes, distribution,
+                                                   object_idx)
+        # ||p - e_c||^2 computed against explicit one-hots.
+        for claim, (c, i) in enumerate(zip(codes, object_idx)):
+            one_hot = np.zeros(2)
+            one_hot[c] = 1.0
+            expected = float(((distribution[:, i] - one_hot) ** 2).sum())
+            assert dev[claim] == pytest.approx(expected)
+
+    def test_continuous_deviations_normalized_by_std(self):
+        values = np.array([2.0, 4.0])
+        truths = np.array([3.0])
+        stds = np.array([2.0])
+        object_idx = np.array([0, 0], dtype=np.int32)
+        sq = kernels.squared_claim_deviations(values, truths, stds,
+                                              object_idx)
+        ab = kernels.absolute_claim_deviations(values, truths, stds,
+                                               object_idx)
+        assert sq.tolist() == [0.5, 0.5]
+        assert ab.tolist() == [0.5, 0.5]
+
+    def test_accumulate_skips_non_finite(self):
+        dev = np.array([1.0, np.nan, 2.0, np.inf])
+        source_idx = np.array([0, 0, 1, 1], dtype=np.int32)
+        totals, counts = kernels.accumulate_source_deviations(
+            dev, source_idx, n_sources=3
+        )
+        assert totals.tolist() == [1.0, 2.0, 0.0]
+        assert counts.tolist() == [1.0, 1.0, 0.0]
+
+    def test_scatter_roundtrip(self):
+        from repro.data import DatasetBuilder, DatasetSchema, continuous
+        builder = DatasetBuilder(DatasetSchema.of(continuous("x")))
+        builder.add("o1", "s1", "x", 1.0)
+        builder.add("o2", "s2", "x", 2.0)
+        prop = builder.build().properties[0]
+        view = prop.claim_view()
+        matrix = kernels.scatter_claims_to_matrix(view, view.values)
+        assert np.array_equal(matrix, prop.values, equal_nan=True)

@@ -8,14 +8,18 @@ single-shot (``rounds=1``): the workloads are deterministic and the
 interesting output is the table, not the harness's own latency.
 
 Set ``REPRO_TRACE=/path/to/trace.jsonl`` to append one ``benchmark``
-record per experiment run (see docs/OBSERVABILITY.md).
+record per experiment run (see docs/OBSERVABILITY.md).  Appends go
+through :func:`repro.observability.append_record` — one atomic
+``O_APPEND`` write per record — so parallel benchmark sessions (e.g.
+``pytest -n auto``) sharing one trace file never interleave lines.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
-from repro.observability import benchmark_record, tracer_from_env
+from repro.observability import append_record, benchmark_record
 
 
 def run_experiment(benchmark, runner, **kwargs):
@@ -25,12 +29,11 @@ def run_experiment(benchmark, runner, **kwargs):
         lambda: runner(**kwargs), rounds=1, iterations=1,
     )
     seconds = time.perf_counter() - started
-    tracer = tracer_from_env()
-    if tracer is not None:
-        with tracer:
-            tracer.emit(benchmark_record(
-                getattr(runner, "__name__", str(runner)), seconds=seconds,
-            ))
+    trace_path = os.environ.get("REPRO_TRACE", "").strip()
+    if trace_path:
+        append_record(trace_path, benchmark_record(
+            getattr(runner, "__name__", str(runner)), seconds=seconds,
+        ))
     print()
     print(result.render())
     return result

@@ -1,0 +1,46 @@
+"""Benchmark-regression harness: pinned suite, BENCH files, comparison.
+
+``python -m repro bench`` runs a pinned suite of performance cases —
+core segment kernels, a Fig. 7 parallel-CRH scaling point, the dense
+and sparse execution backends on a low-density workload, and streaming
+I-CRH over chunks — each measured under a
+:class:`~repro.observability.MemoryProfiler`, and writes the results to
+a schema-versioned ``BENCH_<label>.json`` snapshot (wall seconds, peak
+memory, and the per-phase/per-kernel breakdown of every case, plus
+machine and git provenance).
+
+``python -m repro bench compare A.json B.json`` diffs two snapshots
+case by case and exits nonzero when any case regressed beyond a noise
+threshold — the CI perf-smoke job runs it against a committed baseline.
+
+The suite lives in :mod:`repro.bench.suite`, measurement and the BENCH
+file format in :mod:`repro.bench.harness`, snapshot comparison in
+:mod:`repro.bench.compare`, and the argument parsing in
+:mod:`repro.bench.cli`.
+"""
+
+from .compare import CaseDelta, CompareResult, compare_benches
+from .harness import (
+    BENCH_SCHEMA,
+    default_output_path,
+    load_bench,
+    machine_info,
+    run_suite,
+    write_bench,
+)
+from .suite import SUITE, BenchCase, cases_by_name
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchCase",
+    "CaseDelta",
+    "CompareResult",
+    "SUITE",
+    "cases_by_name",
+    "compare_benches",
+    "default_output_path",
+    "load_bench",
+    "machine_info",
+    "run_suite",
+    "write_bench",
+]

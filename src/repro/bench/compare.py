@@ -1,0 +1,142 @@
+"""Snapshot comparison: per-case deltas and regression gating.
+
+:func:`compare_benches` diffs two BENCH snapshots case by case on wall
+seconds and peak traced memory.  A case *regresses* when the candidate
+exceeds the baseline by more than ``threshold``-fold **and** by more
+than an absolute noise floor (``min_seconds`` / ``min_kib``) — the
+two-sided guard keeps microsecond-scale cases and allocator jitter from
+tripping CI.  Cases present in only one snapshot are reported but never
+gate.  ``python -m repro bench compare`` renders the result and exits
+nonzero when any regression survives the guards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: default acceptable slowdown factor between two runs of the same suite
+DEFAULT_THRESHOLD = 1.5
+#: wall-time differences below this many seconds never gate
+DEFAULT_MIN_SECONDS = 0.02
+#: traced-memory differences below this many KiB never gate
+DEFAULT_MIN_KIB = 2048
+
+
+@dataclass(frozen=True)
+class CaseDelta:
+    """One case's baseline-vs-candidate measurements."""
+
+    name: str
+    base_seconds: float
+    cand_seconds: float
+    base_kib: int
+    cand_kib: int
+    #: True when the time or memory delta exceeds threshold + floor
+    regressed: bool
+    #: human-readable cause(s), empty when not regressed
+    causes: tuple[str, ...]
+
+    @property
+    def time_ratio(self) -> float:
+        """Candidate / baseline wall seconds (inf on a zero baseline)."""
+        if self.base_seconds <= 0:
+            return float("inf") if self.cand_seconds > 0 else 1.0
+        return self.cand_seconds / self.base_seconds
+
+
+@dataclass
+class CompareResult:
+    """The full comparison: per-case deltas plus unmatched cases."""
+
+    label_base: str
+    label_cand: str
+    deltas: list[CaseDelta] = field(default_factory=list)
+    only_base: list[str] = field(default_factory=list)
+    only_cand: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CaseDelta]:
+        """Deltas that exceeded the threshold beyond the noise floor."""
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when no case regressed."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """Aligned per-case report plus the verdict line."""
+        lines = [
+            f"bench compare: {self.label_base} (base) vs "
+            f"{self.label_cand} (candidate)",
+            f"  {'case':<28} {'base s':>9} {'cand s':>9} {'ratio':>7} "
+            f"{'base MiB':>9} {'cand MiB':>9}",
+        ]
+        for d in self.deltas:
+            flag = "  << REGRESSION" if d.regressed else ""
+            lines.append(
+                f"  {d.name:<28} {d.base_seconds:>9.3f} "
+                f"{d.cand_seconds:>9.3f} {d.time_ratio:>6.2f}x "
+                f"{d.base_kib / 1024:>9.1f} {d.cand_kib / 1024:>9.1f}"
+                f"{flag}"
+            )
+            for cause in d.causes:
+                lines.append(f"      {cause}")
+        for name in self.only_base:
+            lines.append(f"  {name:<28} (missing from candidate)")
+        for name in self.only_cand:
+            lines.append(f"  {name:<28} (new in candidate)")
+        verdict = ("OK: all shared cases within threshold" if self.ok
+                   else f"FAIL: {len(self.regressions)} case(s) "
+                        f"regressed")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def compare_benches(base: dict, candidate: dict,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    min_seconds: float = DEFAULT_MIN_SECONDS,
+                    min_kib: int = DEFAULT_MIN_KIB) -> CompareResult:
+    """Diff two loaded snapshots; raises ``ValueError`` on a scale
+    mismatch (different workload sizes are not comparable)."""
+    if base.get("scale") != candidate.get("scale"):
+        raise ValueError(
+            f"scale mismatch: baseline ran at {base.get('scale')}, "
+            f"candidate at {candidate.get('scale')} — re-run one side"
+        )
+    result = CompareResult(
+        label_base=str(base.get("label", "?")),
+        label_cand=str(candidate.get("label", "?")),
+    )
+    base_cases = base.get("cases", {})
+    cand_cases = candidate.get("cases", {})
+    for name in sorted(set(base_cases) | set(cand_cases)):
+        if name not in cand_cases:
+            result.only_base.append(name)
+            continue
+        if name not in base_cases:
+            result.only_cand.append(name)
+            continue
+        b, c = base_cases[name], cand_cases[name]
+        causes: list[str] = []
+        b_s, c_s = float(b["seconds"]), float(c["seconds"])
+        if c_s > b_s * threshold and c_s - b_s > min_seconds:
+            causes.append(
+                f"time {b_s:.3f}s -> {c_s:.3f}s "
+                f"(> {threshold:.1f}x + {min_seconds:.2f}s floor)"
+            )
+        b_m = int(b.get("peak_tracemalloc_kib") or 0)
+        c_m = int(c.get("peak_tracemalloc_kib") or 0)
+        if c_m > b_m * threshold and c_m - b_m > min_kib:
+            causes.append(
+                f"peak traced memory {b_m / 1024:.1f} MiB -> "
+                f"{c_m / 1024:.1f} MiB "
+                f"(> {threshold:.1f}x + {min_kib} KiB floor)"
+            )
+        result.deltas.append(CaseDelta(
+            name=name,
+            base_seconds=b_s, cand_seconds=c_s,
+            base_kib=b_m, cand_kib=c_m,
+            regressed=bool(causes), causes=tuple(causes),
+        ))
+    return result

@@ -1,0 +1,157 @@
+"""Measurement and the ``BENCH_<label>.json`` snapshot format.
+
+:func:`run_suite` executes the pinned cases of
+:mod:`repro.bench.suite`, each under a fresh
+:class:`~repro.observability.MemoryProfiler` with tracemalloc enabled,
+and assembles a schema-versioned snapshot dict: per-case wall seconds,
+peak traced/resident memory, the phase and kernel breakdowns, and a
+``phase_coverage`` figure (fraction of the case's wall time inside
+profiled top-level phases — the attribution completeness check).
+Machine and git provenance make snapshots from different hosts
+distinguishable when compared.
+
+Snapshots are plain JSON; :func:`write_bench` / :func:`load_bench`
+handle (de)serialization and :data:`BENCH_SCHEMA` validation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..observability.profiling import MemoryProfiler, peak_rss_kib
+from .suite import SUITE, BenchCase
+
+#: version of the BENCH snapshot layout; bump on incompatible change
+BENCH_SCHEMA = 1
+
+
+def machine_info() -> dict:
+    """Host provenance recorded in every snapshot: platform, python,
+    numpy, logical CPU count."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_info(root: Path | None = None) -> dict | None:
+    """The working tree's git revision and dirty flag, or ``None``
+    when git (or a repository) is unavailable."""
+    cwd = str(root) if root is not None else None
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=cwd, timeout=10,
+        )
+        if rev.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, cwd=cwd, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return {
+        "rev": rev.stdout.strip(),
+        "dirty": bool(status.stdout.strip()),
+    }
+
+
+def run_case(case: BenchCase, scale: float = 1.0,
+             seed: int = 0) -> dict:
+    """Build and measure one case; returns its snapshot metrics dict.
+
+    The workload build is untimed; the measured body runs under a
+    memory-tracking profiler, so the returned dict carries the full
+    phase/kernel breakdown next to the headline wall seconds.
+    """
+    payload = case.build(scale, seed)
+    with MemoryProfiler(memory=True) as profiler:
+        started = time.perf_counter()
+        case.run(payload, profiler)
+        seconds = time.perf_counter() - started
+        phase_seconds = profiler.phase_totals()
+        top_level = sum(s for path, s in phase_seconds.items()
+                        if "/" not in path)
+        traced = profiler.phase_memory()
+        metrics = {
+            "seconds": seconds,
+            "phase_coverage": (min(1.0, top_level / seconds)
+                               if seconds > 0 else 0.0),
+            "phase_seconds": phase_seconds,
+            "phase_calls": profiler.phase_calls(),
+            "kernel_seconds": profiler.kernel_totals(),
+            "kernel_calls": profiler.kernel_calls(),
+            "peak_tracemalloc_kib": (
+                max(peak // 1024 for peak in traced.values())
+                if traced else 0
+            ),
+            "peak_rss_kib": peak_rss_kib(),
+        }
+    return metrics
+
+
+def run_suite(label: str, scale: float = 1.0, seed: int = 0,
+              cases: list[BenchCase] | None = None,
+              verbose: bool = True) -> dict:
+    """Run the (possibly filtered) suite; returns the snapshot dict."""
+    selected = SUITE if cases is None else cases
+    snapshot = {
+        "bench_schema": BENCH_SCHEMA,
+        "label": label,
+        "created_unix": time.time(),
+        "scale": scale,
+        "seed": seed,
+        "machine": machine_info(),
+        "git": git_info(),
+        "cases": {},
+    }
+    for case in selected:
+        if verbose:
+            print(f"bench: {case.name} ({case.description}) ...",
+                  flush=True)
+        metrics = run_case(case, scale=scale, seed=seed)
+        snapshot["cases"][case.name] = metrics
+        if verbose:
+            mem = metrics["peak_tracemalloc_kib"]
+            print(f"  {metrics['seconds']:8.3f}s  "
+                  f"{mem / 1024:7.1f} MiB traced  "
+                  f"coverage {metrics['phase_coverage']:.0%}",
+                  flush=True)
+    return snapshot
+
+
+def default_output_path(label: str,
+                        directory: str | Path = ".") -> Path:
+    """The conventional snapshot location: ``BENCH_<label>.json``."""
+    return Path(directory) / f"BENCH_{label}.json"
+
+
+def write_bench(snapshot: dict, path: str | Path) -> Path:
+    """Serialize a snapshot to ``path`` (pretty-printed JSON)."""
+    path = Path(path)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True)
+                    + "\n", encoding="utf-8")
+    return path
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load and validate a snapshot; raises ``ValueError`` on an
+    unknown ``bench_schema`` or a file without one."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = payload.get("bench_schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench_schema {schema!r} "
+            f"(expected {BENCH_SCHEMA})"
+        )
+    return payload

@@ -1,0 +1,228 @@
+"""The pinned benchmark suite: what ``python -m repro bench`` measures.
+
+Each :class:`BenchCase` separates *building* its workload (unmeasured —
+dataset synthesis must not pollute the timings) from *running* it (timed
+under an active :class:`~repro.observability.MemoryProfiler`, so phase
+spans and kernel counters land in the BENCH snapshot).  Cases accept a
+``scale`` multiplier so CI can run a reduced grid of the same suite and
+still compare like against like — BENCH files record the scale and
+:func:`repro.bench.compare.compare_benches` refuses to diff mismatched
+scales.
+
+The pinned cases:
+
+* ``primitives/weighted_median`` / ``primitives/weighted_vote`` — the
+  Eq. 16 / Eq. 9 segment kernels on a flat synthetic claim array;
+* ``backend/dense`` / ``backend/sparse`` — full CRH on a 5%-density
+  claims workload under each execution backend (the
+  memory-vs-layout trade the profile recommends between);
+* ``fig7/scaling_point`` — one parallel-CRH point of the Fig. 7 grid
+  (Adult-shaped workload, simulated cluster);
+* ``streaming/icrh_chunks`` — I-CRH over a chunked weather stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core import kernels
+from ..core.solver import crh
+from ..data import DatasetSchema, claims_from_arrays, continuous
+from ..datasets import WeatherConfig, generate_weather_dataset
+from ..experiments.scaling import _adult_workload
+from ..observability.profiling import MemoryProfiler, activate
+from ..parallel import ParallelCRHConfig, parallel_crh
+from ..streaming import icrh
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned benchmark: a workload builder plus a measured body.
+
+    ``build(scale, seed)`` synthesizes the workload (not timed);
+    ``run(payload, profiler)`` does the measured work with ``profiler``
+    installed, so its phase spans and kernel counters describe exactly
+    this case.
+    """
+
+    name: str
+    description: str
+    build: Callable[[float, int], object]
+    run: Callable[[object, MemoryProfiler], object]
+
+
+# -- core primitives ----------------------------------------------------
+
+_PRIMITIVE_REPEATS = 5
+
+
+def _segments_payload(scale: float, seed: int):
+    """Flat sorted claim arrays: values/codes, weights, CSR starts."""
+    rng = np.random.default_rng(seed)
+    n_claims = max(1_000, int(200_000 * scale))
+    n_groups = max(100, int(20_000 * scale))
+    groups = np.sort(rng.integers(0, n_groups, n_claims))
+    starts = np.searchsorted(groups, np.arange(n_groups + 1))
+    return {
+        "values": rng.normal(0.0, 1.0, n_claims),
+        "codes": rng.integers(0, 8, n_claims).astype(np.int64),
+        "weights": rng.uniform(0.1, 1.0, n_claims),
+        "starts": starts,
+    }
+
+
+def _run_weighted_median(payload, profiler: MemoryProfiler):
+    """Repeatedly apply the Eq. 16 weighted-median segment kernel."""
+    with activate(profiler), profiler.phase("run"):
+        for _ in range(_PRIMITIVE_REPEATS):
+            out = kernels.segment_weighted_median(
+                payload["values"], payload["weights"], payload["starts"]
+            )
+    return out
+
+
+def _run_weighted_vote(payload, profiler: MemoryProfiler):
+    """Repeatedly apply the Eq. 9 weighted-vote segment kernel."""
+    with activate(profiler), profiler.phase("run"):
+        for _ in range(_PRIMITIVE_REPEATS):
+            out = kernels.segment_weighted_vote(
+                payload["codes"], payload["weights"], payload["starts"],
+                n_categories=8,
+            )
+    return out
+
+
+# -- dense vs sparse backends ------------------------------------------
+
+_BACKEND_SOURCES = 20
+_BACKEND_DENSITY = 0.05
+
+
+def _backend_payload(scale: float, seed: int):
+    """A 5%-density claims matrix built without dense materialization."""
+    rng = np.random.default_rng(seed)
+    k = _BACKEND_SOURCES
+    n = max(500, int(20_000 * scale))
+    schema = DatasetSchema.of(continuous("p0"), continuous("p1"))
+    target = int(k * n * _BACKEND_DENSITY)
+    columns = {}
+    for m, name in enumerate(schema.names()):
+        cells = np.unique(
+            rng.integers(0, k * n, int(target * 1.2), dtype=np.int64)
+        )[:target]
+        columns[name] = (
+            rng.normal(float(m), 1.0, len(cells)),
+            (cells // n).astype(np.int32),
+            (cells % n).astype(np.int32),
+        )
+    return claims_from_arrays(
+        schema,
+        source_ids=[f"s{i}" for i in range(k)],
+        object_ids=np.arange(n),
+        columns=columns,
+    )
+
+
+def _run_backend(backend: str):
+    """A measured body running CRH pinned to one execution backend."""
+    def run(payload, profiler: MemoryProfiler):
+        return crh(payload, backend=backend, max_iterations=5,
+                   profiler=profiler)
+    return run
+
+
+# -- fig7 scaling point -------------------------------------------------
+
+def _fig7_payload(scale: float, seed: int):
+    """One Adult-shaped Fig. 7 workload (8 sources)."""
+    n_observations = max(5_000, int(120_000 * scale))
+    return _adult_workload(n_observations, n_sources=8, seed=seed)
+
+
+def _run_fig7(payload, profiler: MemoryProfiler):
+    """Parallel CRH on the simulated cluster, a fixed 3 iterations."""
+    config = ParallelCRHConfig(n_mappers=4, n_reducers=10,
+                               max_iterations=3, tol=0.0)
+    return parallel_crh(payload, config, profiler=profiler)
+
+
+# -- streaming ----------------------------------------------------------
+
+def _stream_payload(scale: float, seed: int):
+    """A timestamped weather stream for window-chunked I-CRH."""
+    config = WeatherConfig(
+        n_cities=max(4, int(12 * scale)),
+        n_days=max(6, int(24 * scale)),
+        seed=seed,
+    )
+    return generate_weather_dataset(config).dataset
+
+
+def _run_icrh(payload, profiler: MemoryProfiler):
+    """I-CRH over the stream, two days per chunk."""
+    return icrh(payload, window=2, profiler=profiler)
+
+
+# -- the pinned suite ---------------------------------------------------
+
+#: every case ``python -m repro bench`` measures, in execution order
+SUITE: tuple[BenchCase, ...] = (
+    BenchCase(
+        name="primitives/weighted_median",
+        description="Eq. 16 segment weighted median on flat claims",
+        build=_segments_payload,
+        run=_run_weighted_median,
+    ),
+    BenchCase(
+        name="primitives/weighted_vote",
+        description="Eq. 9 segment weighted vote on flat claims",
+        build=_segments_payload,
+        run=_run_weighted_vote,
+    ),
+    BenchCase(
+        name="backend/dense",
+        description="CRH on the dense (K, N) backend, 5% density",
+        build=_backend_payload,
+        run=_run_backend("dense"),
+    ),
+    BenchCase(
+        name="backend/sparse",
+        description="CRH on the sparse CSR backend, 5% density",
+        build=_backend_payload,
+        run=_run_backend("sparse"),
+    ),
+    BenchCase(
+        name="fig7/scaling_point",
+        description="one parallel-CRH Fig. 7 point (simulated cluster)",
+        build=_fig7_payload,
+        run=_run_fig7,
+    ),
+    BenchCase(
+        name="streaming/icrh_chunks",
+        description="I-CRH over a window-chunked weather stream",
+        build=_stream_payload,
+        run=_run_icrh,
+    ),
+)
+
+
+def cases_by_name(names) -> list[BenchCase]:
+    """Resolve case names (exact or prefix, e.g. ``backend/``) to cases.
+
+    Raises ``ValueError`` on a name matching nothing, listing the valid
+    case names.
+    """
+    selected: list[BenchCase] = []
+    for name in names:
+        matches = [case for case in SUITE
+                   if case.name == name or case.name.startswith(name)]
+        if not matches:
+            known = ", ".join(case.name for case in SUITE)
+            raise ValueError(f"unknown bench case {name!r}; known: {known}")
+        for case in matches:
+            if case not in selected:
+                selected.append(case)
+    return selected

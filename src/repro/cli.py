@@ -156,12 +156,24 @@ def _run_one(name: str, seed: int, scale: float,
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Tool subcommands live outside the experiment parser: ``bench``
+    # runs/compares performance snapshots, ``trace`` inspects traces.
+    if argv and argv[0] == "bench":
+        from .bench.cli import bench_main
+        return bench_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from .bench.cli import trace_main
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (description, _) in _EXPERIMENTS.items():
             print(f"{name:8s} {description}")
         print("profile  conflict / claim-density / memory profile of the "
               "generated workloads")
+        print("bench    performance suite -> BENCH_<label>.json "
+              "(also: bench compare A B)")
+        print("trace    trace tools (trace summarize run.jsonl)")
         return 0
     if args.experiment == "profile":
         _run_profile(args.seed, args.output)

@@ -34,15 +34,47 @@ and zero-total-weight groups fall back to uniform weights — matching the
 scalar oracles in :mod:`repro.core.weighted_stats`.  Because both
 execution backends feed kernels the identical canonically-ordered claim
 view, dense and sparse runs are bit-identical.
+
+Every public kernel reports wall time and call counts to the active
+:class:`~repro.observability.profiling.MemoryProfiler` when one is
+installed (see :func:`repro.observability.profiling.activate`); with no
+active profiler — the default — the per-call cost is one module
+attribute read and an ``is None`` branch, and results are bit-identical.
 """
 
 from __future__ import annotations
 
+import functools
+import time
 from typing import Callable
 
 import numpy as np
 
 from ..data.encoding import MISSING_CODE
+from ..observability import profiling as _profiling
+
+
+def _profiled(fn):
+    """Report the wrapped kernel's wall time to the active profiler.
+
+    With no active profiler the wrapper is a single global read plus a
+    branch — unmeasurable next to the vectorized kernel bodies (bounded
+    by ``benchmarks/bench_core_primitives.py``) and numerically inert.
+    """
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        profiler = _profiling.ACTIVE
+        if profiler is None:
+            return fn(*args, **kwargs)
+        started = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            profiler.record_kernel(name, time.perf_counter() - started)
+
+    return wrapper
 
 
 def _segment_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
@@ -90,6 +122,7 @@ def _effective_weights(
     return claim_weights, totals
 
 
+@_profiled
 def segment_weighted_mean(values: np.ndarray, claim_weights: np.ndarray,
                           indptr: np.ndarray,
                           group_of_claim: np.ndarray | None = None,
@@ -107,6 +140,7 @@ def segment_weighted_mean(values: np.ndarray, claim_weights: np.ndarray,
     return np.where(totals > 0, result, np.nan)
 
 
+@_profiled
 def segment_weighted_median(values: np.ndarray, claim_weights: np.ndarray,
                             indptr: np.ndarray,
                             group_of_claim: np.ndarray | None = None,
@@ -149,6 +183,7 @@ def segment_weighted_median(values: np.ndarray, claim_weights: np.ndarray,
     return result
 
 
+@_profiled
 def segment_weighted_vote(codes: np.ndarray, claim_weights: np.ndarray,
                           indptr: np.ndarray, n_categories: int,
                           group_of_claim: np.ndarray | None = None,
@@ -170,6 +205,7 @@ def segment_weighted_vote(codes: np.ndarray, claim_weights: np.ndarray,
     return winners
 
 
+@_profiled
 def segment_label_distribution(
     codes: np.ndarray, claim_weights: np.ndarray, indptr: np.ndarray,
     n_categories: int, group_of_claim: np.ndarray | None = None,
@@ -198,6 +234,7 @@ def segment_label_distribution(
     return distribution, column
 
 
+@_profiled
 def segment_std(values: np.ndarray, indptr: np.ndarray,
                 group_of_claim: np.ndarray | None = None,
                 floor: float = 1e-12) -> np.ndarray:
@@ -220,6 +257,7 @@ def segment_std(values: np.ndarray, indptr: np.ndarray,
     return np.where((std <= floor) | (counts < 2), 1.0, std)
 
 
+@_profiled
 def segment_weighted_medoid(
     codes: np.ndarray, claim_weights: np.ndarray, indptr: np.ndarray,
     pair_distance: Callable[[int, int], float],
@@ -266,6 +304,7 @@ def segment_weighted_medoid(
 # per-claim deviations (the d_m terms of Eq. 2/5)
 # ----------------------------------------------------------------------
 
+@_profiled
 def zero_one_claim_deviations(codes: np.ndarray, truth_codes: np.ndarray,
                               object_idx: np.ndarray) -> np.ndarray:
     """0-1 deviation of every claim from its entry's truth (Eq. 8)."""
@@ -273,6 +312,7 @@ def zero_one_claim_deviations(codes: np.ndarray, truth_codes: np.ndarray,
     return (np.asarray(codes) != truths).astype(np.float64)
 
 
+@_profiled
 def probability_claim_deviations(codes: np.ndarray,
                                  distribution: np.ndarray,
                                  object_idx: np.ndarray) -> np.ndarray:
@@ -287,6 +327,7 @@ def probability_claim_deviations(codes: np.ndarray,
     return squared_norm[object_idx] - 2.0 * p_claimed + 1.0
 
 
+@_profiled
 def squared_claim_deviations(values: np.ndarray, truths: np.ndarray,
                              stds: np.ndarray,
                              object_idx: np.ndarray) -> np.ndarray:
@@ -296,6 +337,7 @@ def squared_claim_deviations(values: np.ndarray, truths: np.ndarray,
     return residual ** 2 / np.asarray(stds)[object_idx]
 
 
+@_profiled
 def absolute_claim_deviations(values: np.ndarray, truths: np.ndarray,
                               stds: np.ndarray,
                               object_idx: np.ndarray) -> np.ndarray:
@@ -305,6 +347,7 @@ def absolute_claim_deviations(values: np.ndarray, truths: np.ndarray,
     return np.abs(residual) / np.asarray(stds)[object_idx]
 
 
+@_profiled
 def accumulate_source_deviations(
     claim_deviations: np.ndarray, source_idx: np.ndarray, n_sources: int,
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -326,6 +369,7 @@ def accumulate_source_deviations(
     return totals, counts
 
 
+@_profiled
 def scatter_claims_to_matrix(view, claim_values: np.ndarray,
                              fill=np.nan) -> np.ndarray:
     """Scatter per-claim values back into a dense ``(K, N)`` matrix.

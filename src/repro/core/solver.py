@@ -25,6 +25,7 @@ from ..data.schema import PropertyKind
 from ..data.table import TruthTable
 from ..engine import BACKEND_NAMES, make_backend
 from ..observability import iteration_record, run_finished, run_started
+from ..observability.profiling import Profiler, activate, span
 from ..observability.tracer import Tracer
 from .initialization import initializer_by_name
 from .losses import Loss, TruthState, loss_by_name
@@ -143,90 +144,110 @@ class CRHSolver:
         ]
 
     # ------------------------------------------------------------------
-    def fit(self, dataset,
-            tracer: Tracer | None = None) -> TruthDiscoveryResult:
+    def fit(self, dataset, tracer: Tracer | None = None,
+            profiler: Profiler | None = None) -> TruthDiscoveryResult:
         """Run Algorithm 1 on ``dataset`` and return truths + weights.
 
         ``dataset`` may be a dense
         :class:`~repro.data.table.MultiSourceDataset` or a sparse
         :class:`~repro.data.claims_matrix.ClaimsMatrix`; the config's
         ``backend`` decides the execution representation (``"auto"``
-        follows the input).
+        resolves through :func:`repro.engine.make_backend`'s footprint
+        recommendation).
 
         Pass a :class:`~repro.observability.Tracer` to receive one
         ``iteration`` record per loop pass (objective, weights, weight
         delta, truth-change count, per-step wall time) bracketed by
-        ``run_start``/``run_end`` records.  With ``tracer=None`` (or a
-        ``NullTracer``) no record is ever constructed, so the untraced
-        hot path is unchanged.
+        ``run_start``/``run_end`` records.  Pass a
+        :class:`~repro.observability.MemoryProfiler` to additionally
+        collect the phase/kernel wall-time breakdown (``setup``,
+        ``weight_step``, ``truth_step``, ``objective`` spans plus every
+        :mod:`repro.core.kernels` counter); when both are given the
+        profiler's aggregate is flushed into the trace as ``profile``
+        records just before ``run_end``.  With neither (the default) no
+        record is ever constructed, so the uninstrumented hot path is
+        unchanged and results are bit-identical.
         """
         started = time.perf_counter()
         config = self.config
-        backend = make_backend(dataset, config.backend)
-        dataset = backend.data
-        options = config.deviation_options()
-        losses = self._losses_for(dataset)
-        states = self._initial_states(dataset, losses)
-        criterion = ConvergenceCriterion(tol=config.tol,
-                                         patience=config.patience)
-        weights = np.ones(dataset.n_sources, dtype=np.float64)
-        history: list[float] = []
-        converged = False
-        iterations = 0
-        tracing = tracer is not None and tracer.enabled
-        if tracing:
-            tracer.emit(run_started(
-                "CRH",
-                n_sources=dataset.n_sources,
-                n_objects=dataset.n_objects,
-                n_properties=len(dataset.schema),
-                backend=backend.name,
-                n_claims=backend.n_claims(),
-            ))
-
-        for iterations in range(1, config.max_iterations + 1):
-            step_started = time.perf_counter() if tracing else 0.0
-            # Step I (Eq. 2): weights from deviations under current truths.
-            deviations = per_source_deviations(dataset, losses, states,
-                                               options)
-            previous_weights = weights
-            weights = config.weight_scheme.weights(deviations)
+        prof = (profiler if profiler is not None and profiler.enabled
+                else None)
+        with activate(prof):
+            with span(prof, "setup"):
+                backend = make_backend(dataset, config.backend)
+                dataset = backend.data
+                options = config.deviation_options()
+                losses = self._losses_for(dataset)
+                states = self._initial_states(dataset, losses)
+            criterion = ConvergenceCriterion(tol=config.tol,
+                                             patience=config.patience)
+            weights = np.ones(dataset.n_sources, dtype=np.float64)
+            history: list[float] = []
+            converged = False
+            iterations = 0
+            tracing = tracer is not None and tracer.enabled
             if tracing:
-                weight_seconds = time.perf_counter() - step_started
-                previous_states = states
-                step_started = time.perf_counter()
-            # Step II (Eq. 3): per-entry truth update under fixed weights.
-            states = [
-                loss.update_truth(prop, weights)
-                for loss, prop in zip(losses, dataset.properties)
-            ]
-            objective = objective_value(dataset, losses, states, weights,
-                                        options)
-            history.append(objective)
-            if tracing:
-                tracer.emit(iteration_record(
-                    iterations,
-                    objective=objective,
-                    weights=weights,
-                    weight_delta=float(
-                        np.abs(weights - previous_weights).max()
-                    ),
-                    truth_changes=_truth_change_count(previous_states,
-                                                      states),
-                    truth_seconds=time.perf_counter() - step_started,
-                    weight_seconds=weight_seconds,
+                tracer.emit(run_started(
+                    "CRH",
+                    n_sources=dataset.n_sources,
+                    n_objects=dataset.n_objects,
+                    n_properties=len(dataset.schema),
+                    backend=backend.name,
+                    backend_reason=backend.resolution,
+                    n_claims=backend.n_claims(),
                 ))
-            if criterion.update(objective):
-                converged = True
-                break
+
+            for iterations in range(1, config.max_iterations + 1):
+                step_started = time.perf_counter() if tracing else 0.0
+                # Step I (Eq. 2): weights from deviations under current
+                # truths.
+                with span(prof, "weight_step"):
+                    deviations = per_source_deviations(dataset, losses,
+                                                       states, options)
+                    previous_weights = weights
+                    weights = config.weight_scheme.weights(deviations)
+                if tracing:
+                    weight_seconds = time.perf_counter() - step_started
+                    previous_states = states
+                    step_started = time.perf_counter()
+                # Step II (Eq. 3): per-entry truth update under fixed
+                # weights.
+                with span(prof, "truth_step"):
+                    states = [
+                        loss.update_truth(prop, weights)
+                        for loss, prop in zip(losses, dataset.properties)
+                    ]
+                with span(prof, "objective"):
+                    objective = objective_value(dataset, losses, states,
+                                                weights, options)
+                history.append(objective)
+                if tracing:
+                    tracer.emit(iteration_record(
+                        iterations,
+                        objective=objective,
+                        weights=weights,
+                        weight_delta=float(
+                            np.abs(weights - previous_weights).max()
+                        ),
+                        truth_changes=_truth_change_count(previous_states,
+                                                          states),
+                        truth_seconds=time.perf_counter() - step_started,
+                        weight_seconds=weight_seconds,
+                    ))
+                if criterion.update(objective):
+                    converged = True
+                    break
+            with span(prof, "finalize"):
+                truths = states_to_truth_table(dataset, states)
 
         if tracing:
+            if prof is not None:
+                prof.flush_to(tracer)
             tracer.emit(run_finished(
                 iterations=iterations,
                 converged=converged,
                 elapsed_seconds=time.perf_counter() - started,
             ))
-        truths = states_to_truth_table(dataset, states)
         return TruthDiscoveryResult(
             truths=truths,
             weights=weights,
@@ -275,12 +296,14 @@ def states_to_truth_table(dataset,
 
 
 def crh(dataset, tracer: Tracer | None = None,
+        profiler: Profiler | None = None,
         **config_overrides) -> TruthDiscoveryResult:
-    """One-call CRH with optional config overrides and tracing.
+    """One-call CRH with optional config overrides and instrumentation.
 
     >>> result = crh(dataset, continuous_loss="squared", max_iterations=20)
     >>> result = crh(dataset, backend="sparse")       # CSR execution
     >>> result = crh(dataset, tracer=MemoryTracer())  # traced run
+    >>> result = crh(dataset, profiler=MemoryProfiler())  # profiled run
     """
     config = CRHConfig(**config_overrides) if config_overrides else CRHConfig()
-    return CRHSolver(config).fit(dataset, tracer=tracer)
+    return CRHSolver(config).fit(dataset, tracer=tracer, profiler=profiler)

@@ -168,6 +168,27 @@ def format_bytes(n: int) -> str:
     return f"{size:.1f} GiB"  # pragma: no cover - unreachable
 
 
+def recommended_backend(dataset) -> tuple[str, str]:
+    """Pick the execution backend a dataset's footprint favors.
+
+    The ``backend="auto"`` resolution policy of
+    :func:`repro.engine.make_backend`: compares the projected dense
+    ``(K, N)`` footprint against the CSR claims footprint — the same
+    projection :func:`profile_dataset` reports — without computing the
+    full conflict profile, so it is cheap enough to run on every solver
+    call.  Returns ``(name, reason)`` where ``reason`` is a
+    human-readable justification recorded in ``run_start`` traces.
+    """
+    dense = sum(p.dense_nbytes() for p in dataset.properties)
+    sparse = sum(p.sparse_nbytes() for p in dataset.properties)
+    name = "sparse" if sparse < dense else "dense"
+    reason = (
+        f"footprint recommendation: dense {format_bytes(dense)} vs "
+        f"sparse {format_bytes(sparse)}"
+    )
+    return name, reason
+
+
 def profile_dataset(dataset) -> DatasetProfile:
     """Compute the conflict/coverage/footprint profile of a dataset.
 

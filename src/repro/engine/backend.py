@@ -17,10 +17,14 @@ Both backends feed kernels the identical canonically-ordered claim view,
 so results are bit-identical — the choice is purely a
 memory/layout trade-off.  :func:`make_backend` resolves a dataset plus a
 ``backend`` name (``"auto"``, ``"dense"``, ``"sparse"``) into a backend,
-converting the representation when the request disagrees with the input;
-the module-level default (:func:`set_default_backend` /
-:func:`use_default_backend`) lets harnesses and the CLI steer every
-``"auto"`` resolution without threading a parameter through each call.
+converting the representation when the request disagrees with the input.
+``"auto"`` follows the session default when one was set, and otherwise
+the footprint recommendation of
+:func:`repro.data.profile.recommended_backend` — whichever
+representation is projected smaller; the module-level default
+(:func:`set_default_backend` / :func:`use_default_backend`) lets
+harnesses and the CLI steer every ``"auto"`` resolution without
+threading a parameter through each call.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ import contextlib
 from typing import Iterator, Protocol, runtime_checkable
 
 from ..data.claims_matrix import ClaimsMatrix
+from ..data.profile import recommended_backend
 from ..data.table import MultiSourceDataset
 
 #: valid backend selector names
@@ -59,6 +64,11 @@ class _BackendBase:
     """Shared delegation plumbing of the two concrete backends."""
 
     name = "base"
+
+    #: how this backend was chosen — an explicit request, the session
+    #: default, or the footprint recommendation; stamped by
+    #: :func:`make_backend` and recorded in ``run_start`` trace records.
+    resolution = "constructed directly"
 
     def __init__(self, data) -> None:
         self._data = data
@@ -174,26 +184,44 @@ def use_default_backend(name: str) -> Iterator[None]:
 def make_backend(data, backend: str = "auto") -> _BackendBase:
     """Resolve a dataset (or backend) plus a selector into a backend.
 
-    ``backend="auto"`` follows the session default when one was set, and
-    otherwise the input's own representation: a
-    :class:`~repro.data.claims_matrix.ClaimsMatrix` runs sparse, a dense
-    :class:`~repro.data.table.MultiSourceDataset` runs dense.  Explicit
-    ``"dense"``/``"sparse"`` convert the representation when needed.
-    An already-built backend passes through (or converts, when the
-    explicit selector disagrees with it).
+    ``backend="auto"`` follows the session default when one was set
+    (:func:`set_default_backend`), and otherwise the *footprint
+    recommendation* of :func:`repro.data.profile.recommended_backend`:
+    whichever representation is projected smaller wins, regardless of
+    how the input happens to be stored — a dense panel at low claim
+    density runs sparse, a near-dense claims matrix runs dense.
+    Explicit ``"dense"``/``"sparse"`` convert the representation when
+    needed.  An already-built backend passes through (or converts, when
+    the explicit selector disagrees with it).
+
+    The returned backend carries a ``resolution`` string explaining the
+    choice; engines record it as ``backend_reason`` in their
+    ``run_start`` trace record.
     """
     if backend not in BACKEND_NAMES:
         raise ValueError(
             f"backend must be one of {BACKEND_NAMES}, got {backend!r}"
         )
+    reason = f"explicit {backend!r} request"
     if backend == "auto":
-        backend = get_default_backend()
+        session = get_default_backend()
+        if session != "auto":
+            backend = session
+            reason = f"session default ({session})"
     if isinstance(data, _BackendBase):
         if backend == "auto" or backend == data.name:
             return data
         data = data.data
     if backend == "auto":
-        backend = "sparse" if isinstance(data, ClaimsMatrix) else "dense"
-    if backend == "sparse":
-        return SparseBackend(data)
-    return DenseBackend(data)
+        try:
+            backend, reason = recommended_backend(data)
+        except (AttributeError, TypeError):
+            # Dataset-shaped objects without footprint projections fall
+            # back to the input's own representation.
+            backend = ("sparse" if isinstance(data, ClaimsMatrix)
+                       else "dense")
+            reason = "followed input representation (no footprint info)"
+    built = (SparseBackend(data) if backend == "sparse"
+             else DenseBackend(data))
+    built.resolution = reason
+    return built

@@ -19,12 +19,29 @@ Three tracer implementations cover the deployment spectrum:
 * :class:`JsonlTracer` — one JSON object per line to a file, the
   interchange format (``python -m repro table2 --trace out.jsonl``).
 
+The same code paths also accept an optional ``profiler``
+(:class:`NullProfiler` / :class:`MemoryProfiler` /
+:class:`JsonlProfiler`, mirroring the tracer triple): phase spans
+(setup, weight step, truth step, ...) nest into slash-joined paths,
+every :mod:`repro.core.kernels` call is counted and timed, and peak
+memory (tracemalloc + RSS) is sampled per top-level phase.  Profile
+aggregates flush into the trace as ``profile`` records, which
+:class:`RunReport` turns into ``phase_breakdown()`` and ``hotspots()``.
+
 :class:`RunReport` aggregates a record stream back into convergence
 series, counter totals, and a human-readable ``summary()``.  The field
 glossary :data:`METRIC_FIELDS` maps every emitted field to its meaning
 and paper equation; ``docs/OBSERVABILITY.md`` renders it.
 """
 
+from .profiling import (
+    JsonlProfiler,
+    MemoryProfiler,
+    NullProfiler,
+    Profiler,
+    activate,
+    span,
+)
 from .records import (
     METRIC_FIELDS,
     SCHEMA_VERSION,
@@ -33,6 +50,7 @@ from .records import (
     iteration_record,
     mapreduce_job_record,
     method_run_record,
+    profile_record,
     run_finished,
     run_started,
     stream_chunk_record,
@@ -43,24 +61,33 @@ from .tracer import (
     MemoryTracer,
     NullTracer,
     Tracer,
+    append_record,
     tracer_from_env,
 )
 
 __all__ = [
+    "JsonlProfiler",
     "JsonlTracer",
     "METRIC_FIELDS",
+    "MemoryProfiler",
     "MemoryTracer",
+    "NullProfiler",
     "NullTracer",
+    "Profiler",
     "RunReport",
     "SCHEMA_VERSION",
     "Tracer",
+    "activate",
+    "append_record",
     "benchmark_record",
     "experiment_record",
     "iteration_record",
     "mapreduce_job_record",
     "method_run_record",
+    "profile_record",
     "run_finished",
     "run_started",
+    "span",
     "stream_chunk_record",
     "tracer_from_env",
 ]

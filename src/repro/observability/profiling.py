@@ -1,0 +1,374 @@
+"""Profiler implementations: nestable phase spans and per-kernel counters.
+
+Where the :class:`~repro.observability.tracer.Tracer` answers *what the
+run computed* (objectives, weights, counters), a profiler answers *where
+the run spent its resources*: wall time per nested phase (the Eq. 2 /
+Eq. 3 blocks and their setup), wall time and call counts per execution
+kernel (the Eq. 9/14/16 implementations in :mod:`repro.core.kernels`),
+and peak memory per top-level phase.
+
+The design mirrors the tracer triple:
+
+* :class:`NullProfiler` — disabled; instrumented code skips measurement
+  entirely, so passing one is exactly as cheap as ``profiler=None``;
+* :class:`MemoryProfiler` — aggregates spans/counters in dicts, the
+  test/introspection/benchmark profiler;
+* :class:`JsonlProfiler` — a :class:`MemoryProfiler` that writes its
+  aggregate as ``profile`` trace records to a JSONL file on close.
+
+Aggregates convert to ``profile`` trace records
+(:func:`~repro.observability.records.profile_record`), which flow
+through the ordinary :class:`~repro.observability.tracer.Tracer` /
+:class:`~repro.observability.report.RunReport` machinery: engines call
+:meth:`MemoryProfiler.flush_to` just before their ``run_end`` record, so
+a traced-and-profiled run yields a wall-time breakdown attributable to
+paper equations.
+
+Kernel attribution works through a module-level *active profiler*
+(:func:`activate` / :data:`ACTIVE`): the kernels in
+:mod:`repro.core.kernels` check it on entry and time themselves only
+when one is installed.  With no active profiler the check is one module
+attribute read and an ``is None`` branch — results are bit-identical and
+the overhead is unmeasurable next to the vectorized kernel bodies
+(bounded by ``benchmarks/bench_core_primitives.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import tracemalloc
+from contextlib import contextmanager, nullcontext
+from pathlib import Path
+from typing import IO, Iterator, Protocol, runtime_checkable
+
+from .records import profile_record
+from .tracer import _jsonable
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_kib() -> int | None:
+    """The process's peak resident set size in KiB, or ``None``.
+
+    Reads ``getrusage(RUSAGE_SELF).ru_maxrss`` — a monotone high-water
+    mark maintained by the OS, so sampling it costs a system call and no
+    allocation.  Linux reports KiB; macOS reports bytes and is converted.
+    Returns ``None`` on platforms without :mod:`resource`.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        peak //= 1024
+    return int(peak)
+
+
+@runtime_checkable
+class Profiler(Protocol):
+    """Structural interface every profiler satisfies.
+
+    ``enabled`` gates measurement in instrumented code; ``phase``
+    returns a context manager timing one (nestable) span;
+    ``record_kernel`` accumulates one kernel invocation; ``flush_to``
+    emits the aggregate gathered since the previous flush as ``profile``
+    records; ``close`` releases any sink resources.
+    """
+
+    enabled: bool
+
+    def phase(self, name: str):
+        """A context manager spanning one named (nestable) phase."""
+        ...
+
+    def record_kernel(self, kernel: str, seconds: float) -> None:
+        """Account one kernel invocation of ``seconds`` wall time."""
+        ...
+
+    def flush_to(self, tracer) -> int:
+        """Emit unflushed aggregates to ``tracer``; returns #records."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release the sink (idempotent)."""
+        ...
+
+
+class NullProfiler:
+    """The disabled profiler: measures and retains nothing.
+
+    ``enabled`` is ``False``, so instrumented code skips timing
+    altogether — passing a ``NullProfiler`` is exactly as cheap as
+    passing ``profiler=None``.
+    """
+
+    enabled = False
+
+    def phase(self, name: str):
+        """A no-op context manager."""
+        return nullcontext()
+
+    def record_kernel(self, kernel: str, seconds: float) -> None:
+        """Discard the measurement."""
+
+    def flush_to(self, tracer) -> int:
+        """Nothing to emit; returns 0."""
+        return 0
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
+class _Stat:
+    """Accumulator of one phase or kernel: seconds, calls, memory peaks."""
+
+    __slots__ = ("seconds", "calls", "peak_traced", "peak_rss")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.calls = 0
+        self.peak_traced: int | None = None
+        self.peak_rss: int | None = None
+
+
+class MemoryProfiler:
+    """Aggregates phase spans and kernel counters in memory.
+
+    Parameters
+    ----------
+    memory:
+        When ``True``, top-level phases additionally record their peak
+        :mod:`tracemalloc`-traced allocation (starting the tracer if it
+        is not already running — a meaningful slowdown, so this is
+        opt-in; the benchmark harness uses it, interactive profiling
+        usually should not).  Peak RSS is always recorded — it costs one
+        ``getrusage`` call per phase exit.
+
+    Phase spans nest: entering ``"truth_step"`` inside ``"fit"`` records
+    under the slash-joined path ``"fit/truth_step"``.  Re-entering a
+    path accumulates (seconds sum, calls count), so per-iteration phases
+    stay O(#distinct paths), not O(#iterations).
+    """
+
+    enabled = True
+
+    def __init__(self, memory: bool = False) -> None:
+        self.memory = memory
+        self._phases: dict[str, _Stat] = {}
+        self._kernels: dict[str, _Stat] = {}
+        self._stack: list[str] = []
+        self._flushed_phases: dict[str, tuple[float, int]] = {}
+        self._flushed_kernels: dict[str, tuple[float, int]] = {}
+        self._started_tracemalloc = False
+
+    # -- measurement ----------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase span; nests under any currently open span."""
+        path = "/".join(self._stack + [name])
+        track_traced = self.memory and not self._stack
+        self._stack.append(name)
+        if track_traced:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+            tracemalloc.reset_peak()
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            seconds = time.perf_counter() - started
+            self._stack.pop()
+            stat = self._phases.setdefault(path, _Stat())
+            stat.seconds += seconds
+            stat.calls += 1
+            if track_traced:
+                peak = tracemalloc.get_traced_memory()[1]
+                stat.peak_traced = max(stat.peak_traced or 0, peak)
+            rss = peak_rss_kib()
+            if rss is not None:
+                stat.peak_rss = max(stat.peak_rss or 0, rss)
+
+    def record_kernel(self, kernel: str, seconds: float) -> None:
+        """Accumulate one kernel invocation (called by
+        :mod:`repro.core.kernels` when this profiler is active)."""
+        stat = self._kernels.setdefault(kernel, _Stat())
+        stat.seconds += seconds
+        stat.calls += 1
+
+    # -- aggregate views ------------------------------------------------
+    def phase_totals(self) -> dict[str, float]:
+        """Accumulated wall seconds per slash-joined phase path."""
+        return {path: stat.seconds for path, stat in self._phases.items()}
+
+    def phase_calls(self) -> dict[str, int]:
+        """Times each phase path was entered."""
+        return {path: stat.calls for path, stat in self._phases.items()}
+
+    def kernel_totals(self) -> dict[str, float]:
+        """Accumulated wall seconds per kernel name."""
+        return {name: stat.seconds for name, stat in self._kernels.items()}
+
+    def kernel_calls(self) -> dict[str, int]:
+        """Invocation count per kernel name."""
+        return {name: stat.calls for name, stat in self._kernels.items()}
+
+    def phase_memory(self) -> dict[str, int]:
+        """Peak tracemalloc-traced bytes per top-level phase (only
+        phases measured with ``memory=True`` appear)."""
+        return {path: stat.peak_traced for path, stat in
+                self._phases.items() if stat.peak_traced is not None}
+
+    def records(self) -> list[dict]:
+        """The whole aggregate as ``profile`` trace records: one per
+        phase path, then one per kernel."""
+        return self._build_records(self._phases, self._kernels)
+
+    # -- emission -------------------------------------------------------
+    @staticmethod
+    def _build_records(phases: dict[str, _Stat],
+                       kernels: dict[str, _Stat],
+                       baseline_phases: dict[str, tuple[float, int]] = {},
+                       baseline_kernels: dict[str, tuple[float, int]] = {},
+                       ) -> list[dict]:
+        out: list[dict] = []
+        for path, stat in phases.items():
+            done_s, done_c = baseline_phases.get(path, (0.0, 0))
+            if stat.calls == done_c:
+                continue
+            out.append(profile_record(
+                phase=path, seconds=stat.seconds - done_s,
+                calls=stat.calls - done_c,
+                peak_tracemalloc_kib=(None if stat.peak_traced is None
+                                      else stat.peak_traced // 1024),
+                peak_rss_kib=stat.peak_rss,
+            ))
+        for name, stat in kernels.items():
+            done_s, done_c = baseline_kernels.get(name, (0.0, 0))
+            if stat.calls == done_c:
+                continue
+            out.append(profile_record(
+                kernel=name, seconds=stat.seconds - done_s,
+                calls=stat.calls - done_c,
+            ))
+        return out
+
+    def flush_to(self, tracer) -> int:
+        """Emit activity since the previous flush as ``profile`` records.
+
+        Engines call this once per run (just before ``run_end``), so a
+        profiler reused across several runs contributes per-run deltas
+        rather than repeating cumulative totals — which keeps
+        :meth:`~repro.observability.report.RunReport.phase_breakdown`
+        over multi-run traces double-count-free.  Returns the number of
+        records emitted.
+        """
+        records = self._build_records(
+            self._phases, self._kernels,
+            self._flushed_phases, self._flushed_kernels,
+        )
+        for record in records:
+            tracer.emit(record)
+        self._flushed_phases = {
+            path: (stat.seconds, stat.calls)
+            for path, stat in self._phases.items()
+        }
+        self._flushed_kernels = {
+            name: (stat.seconds, stat.calls)
+            for name, stat in self._kernels.items()
+        }
+        return len(records)
+
+    def close(self) -> None:
+        """Stop tracemalloc if this profiler started it."""
+        if self._started_tracemalloc:
+            if tracemalloc.is_tracing():  # pragma: no branch
+                tracemalloc.stop()
+            self._started_tracemalloc = False
+
+    def __enter__(self) -> "MemoryProfiler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class JsonlProfiler(MemoryProfiler):
+    """A profiler that writes its aggregate to a JSONL file on close.
+
+    Accepts a path (opened for writing; ``append=True`` to add to an
+    existing file) or any open text handle.  Records are the same
+    ``profile`` records a traced run embeds, so the output concatenates
+    cleanly with ``JsonlTracer`` traces and loads with
+    :meth:`~repro.observability.report.RunReport.from_file`.
+    """
+
+    def __init__(self, sink: str | Path | IO[str], *,
+                 memory: bool = False, append: bool = False) -> None:
+        super().__init__(memory=memory)
+        if hasattr(sink, "write"):
+            self._handle: IO[str] = sink  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = open(Path(sink), "a" if append else "w",
+                                encoding="utf-8")
+            self._owns_handle = True
+        self._written = False
+
+    def close(self) -> None:
+        """Write the aggregate (once), then release handle + tracemalloc."""
+        if not self._written:
+            for record in self.records():
+                self._handle.write(
+                    json.dumps(record, default=_jsonable) + "\n"
+                )
+            self._written = True
+        if self._owns_handle:
+            if not self._handle.closed:
+                self._handle.close()
+        else:
+            self._handle.flush()
+        super().close()
+
+
+#: The process-wide profiler the kernels in :mod:`repro.core.kernels`
+#: report to, or ``None`` (the default: kernels skip timing entirely).
+#: Installed/restored by :func:`activate`.
+ACTIVE: MemoryProfiler | None = None
+
+
+@contextmanager
+def activate(profiler) -> Iterator[None]:
+    """Install ``profiler`` as the active kernel-timing target.
+
+    Engines wrap their run in this so every kernel invocation inside —
+    regardless of call depth — lands in the profiler's kernel counters.
+    Nesting is safe (the previous active profiler is restored), and a
+    ``None`` or disabled profiler makes this a no-op.
+    """
+    global ACTIVE
+    if profiler is None or not profiler.enabled:
+        yield
+        return
+    previous = ACTIVE
+    ACTIVE = profiler
+    try:
+        yield
+    finally:
+        ACTIVE = previous
+
+
+def span(profiler, name: str):
+    """A phase span on ``profiler``, or a no-op context manager.
+
+    The instrumentation-site helper: ``with span(profiler, "truth_step")``
+    reads naturally and compiles to ``nullcontext()`` when profiling is
+    off, keeping engine code free of ``if profiler`` pyramids.
+    """
+    if profiler is None or not profiler.enabled:
+        return nullcontext()
+    return profiler.phase(name)

@@ -20,8 +20,10 @@ from typing import Hashable
 import numpy as np
 
 #: Version stamp carried by every record as ``v``; bump on breaking
-#: schema changes so downstream consumers can dispatch.
-SCHEMA_VERSION = 1
+#: schema changes so downstream consumers can dispatch.  v2 added the
+#: ``profile`` event (phase/kernel wall-time and memory breakdowns) and
+#: the ``backend_reason`` field on ``run_start``.
+SCHEMA_VERSION = 2
 
 #: Glossary of every field a trace record can carry: field name ->
 #: description, including the paper equation the measurement comes from.
@@ -30,13 +32,17 @@ SCHEMA_VERSION = 1
 METRIC_FIELDS: dict[str, str] = {
     "v": "trace schema version (SCHEMA_VERSION)",
     "event": "record type discriminator: run_start, iteration, chunk, "
-             "mapreduce_job, method_run, experiment, benchmark, run_end",
+             "mapreduce_job, method_run, experiment, benchmark, profile, "
+             "run_end",
     "method": "human-readable method name (CRH, I-CRH, Parallel-CRH)",
     "n_sources": "number of sources K in the traced dataset",
     "n_objects": "number of objects N in the traced dataset",
     "n_properties": "number of properties M in the traced dataset",
     "backend": "execution backend the run used: dense ((K, N) matrices) "
                "or sparse (CSR-by-object claims)",
+    "backend_reason": "why the run resolved to its backend: an explicit "
+                      "request, the session default, or the footprint "
+                      "recommendation of repro.data.profile",
     "n_claims": "number of stored claims (observed cells) across all "
                 "properties of the traced dataset",
     "iteration": "1-based iteration index of Algorithm 1's outer loop",
@@ -92,7 +98,19 @@ METRIC_FIELDS: dict[str, str] = {
             "from ground truth (the paper's MNAD)",
     "experiment": "CLI experiment id (table2, fig8, ...)",
     "name": "benchmark or run label",
-    "seconds": "wall-clock seconds of the traced benchmark call",
+    "seconds": "wall-clock seconds of the traced benchmark call or "
+               "profiled phase/kernel",
+    "phase": "slash-joined nested phase path the profile record covers "
+             "(e.g. truth_step, fit/objective)",
+    "kernel": "repro.core.kernels function the profile record covers "
+              "(the Eq. 9/14/16 and deviation kernels)",
+    "calls": "times the profiled phase was entered or the kernel was "
+             "invoked",
+    "peak_tracemalloc_kib": "peak tracemalloc-traced allocation during "
+                            "the profiled phase, in KiB (present only "
+                            "when memory accounting was enabled)",
+    "peak_rss_kib": "process peak resident set size observed at phase "
+                    "exit, in KiB (a monotone OS high-water mark)",
 }
 
 
@@ -119,17 +137,47 @@ def run_started(method: str, *, n_sources: int | None = None,
                 n_objects: int | None = None,
                 n_properties: int | None = None,
                 backend: str | None = None,
+                backend_reason: str | None = None,
                 n_claims: int | None = None) -> dict:
     """A ``run_start`` record: method name plus dataset shape.
 
     ``backend`` tags which execution backend the engine resolved
     (dense/sparse) and ``n_claims`` how many claims it holds — the pair
-    that explains a run's memory footprint.
+    that explains a run's memory footprint; ``backend_reason`` records
+    *why* the resolution landed there (explicit request, session
+    default, or the footprint recommendation).
     """
     return _record("run_start", method=method, n_sources=n_sources,
                    n_objects=n_objects, n_properties=n_properties,
-                   backend=backend,
+                   backend=backend, backend_reason=backend_reason,
                    n_claims=None if n_claims is None else int(n_claims))
+
+
+def profile_record(*, phase: str | None = None, kernel: str | None = None,
+                   seconds: float, calls: int,
+                   peak_tracemalloc_kib: int | None = None,
+                   peak_rss_kib: int | None = None) -> dict:
+    """A ``profile`` record: one phase span or kernel counter aggregate.
+
+    Exactly one of ``phase`` (a slash-joined nested span path) or
+    ``kernel`` (a :mod:`repro.core.kernels` function name) identifies
+    what the accumulated ``seconds``/``calls`` cover; memory peaks are
+    attached to top-level phases when accounting was enabled.
+    """
+    if (phase is None) == (kernel is None):
+        raise ValueError(
+            "profile_record takes exactly one of phase= or kernel="
+        )
+    return _record(
+        "profile",
+        phase=phase,
+        kernel=kernel,
+        seconds=float(seconds),
+        calls=int(calls),
+        peak_tracemalloc_kib=(None if peak_tracemalloc_kib is None
+                              else int(peak_tracemalloc_kib)),
+        peak_rss_kib=None if peak_rss_kib is None else int(peak_rss_kib),
+    )
 
 
 def iteration_record(iteration: int, *, objective: float | None = None,

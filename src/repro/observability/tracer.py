@@ -114,9 +114,13 @@ class JsonlTracer:
         self.emitted = 0
 
     def emit(self, record: dict) -> None:
-        """Serialize the record as one JSON line and write it through."""
-        self._handle.write(json.dumps(record, default=_jsonable))
-        self._handle.write("\n")
+        """Serialize the record as one JSON line and write it through.
+
+        The line is written in a single ``write`` call so concurrent
+        appenders to the same file cannot interleave a record with its
+        newline.
+        """
+        self._handle.write(json.dumps(record, default=_jsonable) + "\n")
         self.emitted += 1
 
     def close(self) -> None:
@@ -137,6 +141,24 @@ class JsonlTracer:
 def read_jsonl(lines: Iterable[str]) -> list[dict]:
     """Parse JSONL lines back into records, skipping blank lines."""
     return [json.loads(line) for line in lines if line.strip()]
+
+
+def append_record(path: str | Path, record: dict) -> None:
+    """Append one record to a JSONL file as one atomic line.
+
+    Opens the file with ``O_APPEND`` and writes the serialized record
+    (including its newline) in a single ``os.write`` call, so records
+    appended by overlapping processes — e.g. parallel benchmark sessions
+    sharing one ``$REPRO_TRACE`` file — land as whole lines, never
+    interleaved or split.  (POSIX guarantees ``O_APPEND`` writes are
+    atomic with respect to each other for ordinary files.)
+    """
+    line = json.dumps(record, default=_jsonable) + "\n"
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
 
 
 def tracer_from_env(variable: str = "REPRO_TRACE") -> JsonlTracer | None:

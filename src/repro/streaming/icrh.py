@@ -33,6 +33,7 @@ from ..data.schema import PropertyKind
 from ..data.table import TruthTable
 from ..engine import BACKEND_NAMES, make_backend
 from ..observability import run_finished, run_started, stream_chunk_record
+from ..observability.profiling import Profiler, activate, span
 from ..observability.tracer import Tracer
 from .windows import StreamChunk, chunk_by_window
 
@@ -77,9 +78,13 @@ class IncrementalCRH:
     """
 
     def __init__(self, config: ICRHConfig | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 profiler: Profiler | None = None) -> None:
         self.config = config or ICRHConfig()
         self.tracer = tracer
+        #: optional profiler activated around each partial_fit call
+        self.profiler = (profiler if profiler is not None
+                         and profiler.enabled else None)
         self._source_ids: list = []
         self._source_index: dict = {}
         self._accumulated = np.zeros(0)
@@ -167,51 +172,67 @@ class IncrementalCRH:
 
         When a tracer was given at construction, each call emits one
         ``chunk`` record (weights, weight delta, arrival counters).
+        With a profiler, each call contributes to ``setup`` /
+        ``truth_step`` / ``accumulate`` / ``weight_step`` phase spans
+        plus the kernel counters.
         """
         tracing = self.tracer is not None and self.tracer.enabled
-        chunk = make_backend(chunk, self.config.backend).data
-        known_sources = len(self._source_ids)
-        positions = self._positions_for(chunk)
-        new_sources = len(self._source_ids) - known_sources
-        previous_weights = self._weights.copy() if tracing else None
-        weights_for_chunk = self._weights[positions]
-
-        losses = self._losses_for(chunk)
-        # Line 3: truths for the current chunk under the learned weights.
-        states = [
-            loss.update_truth(prop, weights_for_chunk)
-            for loss, prop in zip(losses, chunk.properties)
-        ]
-        # Lines 4-5: decay-accumulate distances, then recompute weights.
-        chunk_dev = np.zeros(chunk.n_sources)
-        chunk_cnt = np.zeros(chunk.n_sources)
-        for loss, prop, state in zip(losses, chunk.properties, states):
-            dev = loss.claim_deviations(state, prop)
-            totals, counts = accumulate_source_deviations(
-                dev, prop.claim_view().source_idx, chunk.n_sources
-            )
-            chunk_dev += totals
-            chunk_cnt += counts
-        alpha = self.config.decay
-        if self._chunks_seen:
-            self.decay_applications += 1
-        self._accumulated *= alpha
-        self._counts *= alpha
-        np.add.at(self._accumulated, positions, chunk_dev)
-        np.add.at(self._counts, positions, chunk_cnt)
-        if self.config.normalize_by_counts:
-            with np.errstate(invalid="ignore", divide="ignore"):
-                normalized = self._accumulated / self._counts
-            per_source = np.where(self._counts > 0, normalized, 0.0)
-        else:
-            per_source = self._accumulated
-        self._weights = self.config.weight_scheme.weights(per_source)
-        # A source with no (surviving) observations carries no evidence:
-        # it keeps the Algorithm-2 line-1 weight of 1 rather than the
-        # best-in-class weight a zero deviation would otherwise imply.
-        unseen = self._counts <= 1e-12
-        if unseen.any():
-            self._weights = np.where(unseen, 1.0, self._weights)
+        prof = self.profiler
+        with activate(prof):
+            with span(prof, "setup"):
+                chunk = make_backend(chunk, self.config.backend).data
+                known_sources = len(self._source_ids)
+                positions = self._positions_for(chunk)
+                new_sources = len(self._source_ids) - known_sources
+                previous_weights = (self._weights.copy()
+                                    if tracing else None)
+                weights_for_chunk = self._weights[positions]
+                losses = self._losses_for(chunk)
+            # Line 3: truths for the current chunk under the learned
+            # weights.
+            with span(prof, "truth_step"):
+                states = [
+                    loss.update_truth(prop, weights_for_chunk)
+                    for loss, prop in zip(losses, chunk.properties)
+                ]
+            # Lines 4-5: decay-accumulate distances, then recompute
+            # weights.
+            with span(prof, "accumulate"):
+                chunk_dev = np.zeros(chunk.n_sources)
+                chunk_cnt = np.zeros(chunk.n_sources)
+                for loss, prop, state in zip(losses, chunk.properties,
+                                             states):
+                    dev = loss.claim_deviations(state, prop)
+                    totals, counts = accumulate_source_deviations(
+                        dev, prop.claim_view().source_idx,
+                        chunk.n_sources
+                    )
+                    chunk_dev += totals
+                    chunk_cnt += counts
+                alpha = self.config.decay
+                if self._chunks_seen:
+                    self.decay_applications += 1
+                self._accumulated *= alpha
+                self._counts *= alpha
+                np.add.at(self._accumulated, positions, chunk_dev)
+                np.add.at(self._counts, positions, chunk_cnt)
+            with span(prof, "weight_step"):
+                if self.config.normalize_by_counts:
+                    with np.errstate(invalid="ignore", divide="ignore"):
+                        normalized = self._accumulated / self._counts
+                    per_source = np.where(self._counts > 0,
+                                          normalized, 0.0)
+                else:
+                    per_source = self._accumulated
+                self._weights = self.config.weight_scheme.weights(
+                    per_source)
+                # A source with no (surviving) observations carries no
+                # evidence: it keeps the Algorithm-2 line-1 weight of 1
+                # rather than the best-in-class weight a zero deviation
+                # would otherwise imply.
+                unseen = self._counts <= 1e-12
+                if unseen.any():
+                    self._weights = np.where(unseen, 1.0, self._weights)
         self._chunks_seen += 1
         self.window_advances += 1
         self._weight_history.append(self._weights.copy())
@@ -252,7 +273,8 @@ class ICRHResult:
 
 def icrh(dataset, window: int = 1,
          config: ICRHConfig | None = None,
-         tracer: Tracer | None = None) -> ICRHResult:
+         tracer: Tracer | None = None,
+         profiler: Profiler | None = None) -> ICRHResult:
     """Run I-CRH over a timestamped dataset, chunking by time window.
 
     ``dataset`` may be dense or sparse; it is resolved once through the
@@ -261,12 +283,14 @@ def icrh(dataset, window: int = 1,
     (aligned with ``dataset``), the final weights, and the per-chunk
     weight history.  With a tracer, emits ``run_start``, one ``chunk``
     record per window, and a ``run_end`` carrying the stream counters.
+    With a profiler, every chunk's phase/kernel timings accumulate and
+    (when also tracing) flush into the trace as ``profile`` records.
     """
     started = time.perf_counter()
     config = config or ICRHConfig()
     backend = make_backend(dataset, config.backend)
     dataset = backend.data
-    model = IncrementalCRH(config, tracer=tracer)
+    model = IncrementalCRH(config, tracer=tracer, profiler=profiler)
     tracing = tracer is not None and tracer.enabled
     if tracing:
         tracer.emit(run_started(
@@ -275,6 +299,7 @@ def icrh(dataset, window: int = 1,
             n_objects=dataset.n_objects,
             n_properties=len(dataset.schema),
             backend=backend.name,
+            backend_reason=backend.resolution,
             n_claims=backend.n_claims(),
         ))
     columns: list[np.ndarray] = []
@@ -289,8 +314,10 @@ def icrh(dataset, window: int = 1,
     for chunk in chunk_by_window(dataset, window):
         chunk_truths = model.partial_fit(chunk.dataset)
         chunk_sizes.append(chunk.dataset.n_objects)
-        for m in range(len(dataset.schema)):
-            columns[m][chunk.object_indices] = chunk_truths.columns[m]
+        with span(model.profiler, "stitch"):
+            for m in range(len(dataset.schema)):
+                columns[m][chunk.object_indices] = \
+                    chunk_truths.columns[m]
     truths = TruthTable(
         schema=dataset.schema,
         object_ids=dataset.object_ids,
@@ -299,6 +326,8 @@ def icrh(dataset, window: int = 1,
     )
     elapsed = time.perf_counter() - started
     if tracing:
+        if model.profiler is not None:
+            model.profiler.flush_to(tracer)
         tracer.emit(run_finished(
             iterations=model.chunks_seen,
             converged=True,

@@ -169,9 +169,10 @@ class TestJsonlRoundTrip:
         path = tmp_path / "trace.jsonl"
         with JsonlTracer(path) as tracer:
             crh(dataset, tracer=tracer)
+        from repro.observability import SCHEMA_VERSION
         for line in path.read_text().splitlines():
             record = json.loads(line)
-            assert record["v"] == 1
+            assert record["v"] == SCHEMA_VERSION
             assert record["event"]
 
     def test_every_emitted_field_is_in_the_glossary(self, workload,
@@ -294,3 +295,67 @@ class TestCliTrace:
         assert [r["experiment"] for r in experiments] == ["fig4"]
         out = capsys.readouterr().out
         assert "experiments: fig4" in out
+
+
+class TestMultiRunReports:
+    """RunReport over traces holding several runs back to back."""
+
+    def _two_run_trace(self):
+        dataset, _ = make_synthetic(n_objects=30)
+        tracer = MemoryTracer()
+        crh(dataset, tracer=tracer, max_iterations=3)
+        parallel_crh(dataset, tracer=tracer)
+        return RunReport(tracer.records)
+
+    def test_interleaved_run_start_end_pair_up(self):
+        report = self._two_run_trace()
+        starts = report.events("run_start")
+        ends = report.events("run_end")
+        assert [r["method"] for r in starts] == ["CRH", "Parallel-CRH"]
+        assert len(ends) == 2
+        # each run_end follows its run_start in stream order
+        order = [r["event"] for r in report.records
+                 if r["event"] in ("run_start", "run_end")]
+        assert order == ["run_start", "run_end", "run_start", "run_end"]
+
+    def test_counter_totals_do_not_double_count_across_runs(self):
+        dataset, _ = make_synthetic(n_objects=30)
+        tracer = MemoryTracer()
+        parallel_crh(dataset, tracer=tracer)
+        single = RunReport(tracer.records).counter_totals()
+        parallel_crh(dataset, tracer=tracer)
+        double = RunReport(tracer.records).counter_totals()
+        # identical runs: totals over two runs are exactly twice one
+        # run's totals (run_end counters are per-run running totals and
+        # must sum over run_end records only, never re-add per-job rows)
+        for name, value in single.items():
+            assert double[name] == 2 * value, name
+
+    def test_weight_trajectory_nan_padded_when_sources_grow(self):
+        # A stream whose later chunks introduce new sources: rows from
+        # before the growth must be NaN-padded to the final K.
+        records = [
+            {"event": "chunk", "v": 2, "chunk": 1,
+             "weights": [1.0, 2.0]},
+            {"event": "chunk", "v": 2, "chunk": 2,
+             "weights": [1.0, 2.0, 3.0]},
+        ]
+        trajectory = RunReport(records).weight_trajectory()
+        assert trajectory.shape == (2, 3)
+        assert np.isnan(trajectory[0, 2])
+        assert not np.isnan(trajectory[1]).any()
+        np.testing.assert_array_equal(trajectory[0, :2], [1.0, 2.0])
+
+    def test_phase_breakdown_merges_profiled_runs(self):
+        dataset, _ = make_synthetic(n_objects=30)
+        tracer = MemoryTracer()
+        from repro.observability import MemoryProfiler
+        prof = MemoryProfiler()
+        crh(dataset, tracer=tracer, profiler=prof, max_iterations=3)
+        crh(dataset, tracer=tracer, profiler=prof, max_iterations=3)
+        report = RunReport(tracer.records)
+        # delta-flushing keeps the merged breakdown equal to the
+        # profiler's own cumulative totals
+        for path, seconds in prof.phase_totals().items():
+            assert report.phase_breakdown()[path] == \
+                pytest.approx(seconds)

@@ -1,9 +1,15 @@
-"""Dense vs sparse backend: peak memory and wall time at low density.
+"""Dense vs sparse vs process backends: memory, wall time, scaling.
 
-The ISSUE's acceptance benchmark: on a 5%-density synthetic workload
-(K=50 sources, N=100k objects, 3 continuous properties) the sparse
-backend's peak memory must be at least 5x lower than the dense
-backend's, while both produce bit-identical results.
+Two acceptance benchmarks run here, on the same 5%-density synthetic
+workload (K=50 sources, N=100k objects, 3 continuous properties):
+
+* **memory** (PR 2): the sparse backend's peak memory must be at least
+  5x lower than the dense backend's;
+* **parallel speedup** (PR 4): the process backend at 4 workers must be
+  at least 1.7x faster than single-process sparse — asserted only when
+  the machine actually has 4+ usable CPUs (measurements always print).
+
+All backends must produce bit-identical results.
 
 Runs two ways:
 
@@ -12,11 +18,11 @@ Runs two ways:
 * as a plain script for CI smoke checks::
 
       REPRO_BENCH_SMOKE=1 python benchmarks/bench_backend_scaling.py \
-          --backend sparse
+          --backend process --workers 2
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the object count (100k -> 5k) so the
-script finishes in seconds; the >= 5x assertion only applies at full
-scale, where the dense (K, N) materialization dominates.
+script finishes in seconds; the >= 5x and >= 1.7x assertions only apply
+at full scale, where fixed overheads stop dominating.
 """
 
 import argparse
@@ -28,10 +34,14 @@ import numpy as np
 
 from repro.core.solver import crh
 from repro.data import DatasetSchema, claims_from_arrays, continuous
+from repro.engine import available_workers
 
 N_SOURCES = 50
 DENSITY = 0.05
-ITERATIONS = 5
+ITERATIONS = 8
+#: process-backend worker counts measured by the comparison
+WORKER_POINTS = (1, 2, 4)
+SPEEDUP_BAR = 1.7
 
 
 def _smoke() -> bool:
@@ -70,12 +80,18 @@ def build_workload(seed: int = 0):
     )
 
 
-def measure(dataset, backend: str):
-    """Run CRH on ``backend``; return (result, peak_bytes, seconds)."""
+def measure(dataset, backend: str, n_workers: int | None = None):
+    """Run CRH on ``backend``; return (result, peak_bytes, seconds).
+
+    Peak memory is the parent process's tracemalloc peak; for the
+    process backend the shared segment lives outside the Python heap,
+    so only the dense/sparse peaks are comparable.
+    """
     tracemalloc.start()
     started = time.perf_counter()
     try:
-        result = crh(dataset, backend=backend, max_iterations=ITERATIONS)
+        result = crh(dataset, backend=backend, n_workers=n_workers,
+                     max_iterations=ITERATIONS)
         seconds = time.perf_counter() - started
         _, peak = tracemalloc.get_traced_memory()
     finally:
@@ -83,68 +99,97 @@ def measure(dataset, backend: str):
     return result, peak, seconds
 
 
-def render_row(backend: str, peak: int, seconds: float) -> str:
+def render_row(label: str, peak: int, seconds: float) -> str:
     """One aligned table line for the comparison printout."""
-    return f"  {backend:<8} {peak / 2**20:>10.1f} MiB {seconds:>8.2f} s"
+    return f"  {label:<12} {peak / 2**20:>10.1f} MiB {seconds:>8.2f} s"
+
+
+def _assert_identical(reference, other) -> None:
+    for col_a, col_b in zip(reference.truths.columns, other.truths.columns):
+        np.testing.assert_array_equal(col_a, col_b)
+    np.testing.assert_array_equal(reference.weights, other.weights)
 
 
 def run_comparison() -> dict:
-    """Measure both backends, print the table, enforce the acceptance bar."""
+    """Measure every backend, print the table, enforce the acceptance bars."""
     dataset = build_workload()
+    cpus = available_workers()
     print(f"\nBackend scaling: K={N_SOURCES}, N={_n_objects():,}, "
-          f"density={DENSITY:.0%}, {dataset.n_claims():,} claims"
-          f"{' [smoke]' if _smoke() else ''}")
+          f"density={DENSITY:.0%}, {dataset.n_claims():,} claims, "
+          f"{cpus} usable CPU(s){' [smoke]' if _smoke() else ''}")
     measurements = {}
     for backend in ("sparse", "dense"):
         result, peak, seconds = measure(dataset, backend)
         measurements[backend] = (result, peak, seconds)
         print(render_row(backend, peak, seconds))
-    sparse_result, sparse_peak, _ = measurements["sparse"]
+    for workers in WORKER_POINTS:
+        label = f"process-w{workers}"
+        result, peak, seconds = measure(dataset, "process",
+                                        n_workers=workers)
+        measurements[label] = (result, peak, seconds)
+        print(render_row(label, peak, seconds))
+    sparse_result, sparse_peak, sparse_seconds = measurements["sparse"]
     dense_result, dense_peak, _ = measurements["dense"]
     ratio = dense_peak / sparse_peak
     print(f"  dense/sparse peak-memory ratio: {ratio:.1f}x")
-    for col_s, col_d in zip(sparse_result.truths.columns,
-                            dense_result.truths.columns):
-        np.testing.assert_array_equal(col_s, col_d)
-    np.testing.assert_array_equal(sparse_result.weights,
-                                  dense_result.weights)
+    _assert_identical(sparse_result, dense_result)
+    speedups = {}
+    for workers in WORKER_POINTS:
+        result, _, seconds = measurements[f"process-w{workers}"]
+        _assert_identical(sparse_result, result)
+        speedups[workers] = sparse_seconds / seconds
+        print(f"  process-w{workers} speedup over sparse: "
+              f"{speedups[workers]:.2f}x")
     if not _smoke():
         assert ratio >= 5.0, (
             f"sparse backend saved only {ratio:.1f}x peak memory "
             f"(dense {dense_peak / 2**20:.1f} MiB, sparse "
             f"{sparse_peak / 2**20:.1f} MiB); acceptance bar is 5x"
         )
+    if not _smoke() and cpus >= 4:
+        assert speedups[4] >= SPEEDUP_BAR, (
+            f"process backend at 4 workers only {speedups[4]:.2f}x over "
+            f"sparse; acceptance bar is {SPEEDUP_BAR}x"
+        )
+    elif cpus < 4:
+        print(f"  (speedup bar >= {SPEEDUP_BAR}x at 4 workers not "
+              f"asserted: only {cpus} usable CPU(s))")
     return {"ratio": ratio, "dense_peak": dense_peak,
-            "sparse_peak": sparse_peak}
+            "sparse_peak": sparse_peak, "speedups": speedups}
 
 
-def run_single(backend: str) -> None:
+def run_single(backend: str, n_workers: int | None = None) -> None:
     """CI smoke entry: one backend end to end, no comparison."""
     dataset = build_workload()
-    result, peak, seconds = measure(dataset, backend)
+    result, peak, seconds = measure(dataset, backend, n_workers=n_workers)
+    label = backend if n_workers is None else f"{backend}-w{n_workers}"
     print(f"Backend smoke: K={N_SOURCES}, N={_n_objects():,}, "
           f"density={DENSITY:.0%}{' [smoke]' if _smoke() else ''}")
-    print(render_row(backend, peak, seconds))
+    print(render_row(label, peak, seconds))
     assert len(result.objective_history) >= 1
     assert np.all(np.isfinite(result.weights))
 
 
 def test_backend_memory_scaling(benchmark):
-    """pytest-benchmark entry: full comparison with the 5x assertion."""
+    """pytest-benchmark entry: full comparison with the acceptance bars."""
     summary = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
     assert summary["sparse_peak"] < summary["dense_peak"]
 
 
 def main() -> None:
-    """Script entry: ``--backend {dense,sparse,both}`` (default both)."""
+    """Script entry: ``--backend {dense,sparse,process,both}``."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--backend", choices=("dense", "sparse", "both"),
-                        default="both")
+    parser.add_argument(
+        "--backend", choices=("dense", "sparse", "process", "both"),
+        default="both")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-backend worker count (single-backend runs only)")
     args = parser.parse_args()
     if args.backend == "both":
         run_comparison()
     else:
-        run_single(args.backend)
+        run_single(args.backend, n_workers=args.workers)
 
 
 if __name__ == "__main__":

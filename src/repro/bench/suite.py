@@ -16,6 +16,9 @@ The pinned cases:
 * ``backend/dense`` / ``backend/sparse`` — full CRH on a 5%-density
   claims workload under each execution backend (the
   memory-vs-layout trade the profile recommends between);
+* ``backend/process-w{1,2,4}`` — the same workload on the
+  shared-memory worker pool at 1/2/4 workers (the PR-4 scaling
+  points; pool start-up and segment packing are inside the timing);
 * ``fig7/scaling_point`` — one parallel-CRH point of the Fig. 7 grid
   (Adult-shaped workload, simulated cluster);
 * ``streaming/icrh_chunks`` — I-CRH over a chunked weather stream.
@@ -134,6 +137,19 @@ def _run_backend(backend: str):
     return run
 
 
+def _run_process_backend(n_workers: int):
+    """A measured body running CRH on the shared-memory worker pool.
+
+    The backend is built inside the measured body on purpose: segment
+    packing and pool start-up are part of what the process backend
+    costs, so hiding them in ``build`` would flatter the scaling curve.
+    """
+    def run(payload, profiler: MemoryProfiler):
+        return crh(payload, backend="process", n_workers=n_workers,
+                   max_iterations=5, profiler=profiler)
+    return run
+
+
 # -- fig7 scaling point -------------------------------------------------
 
 def _fig7_payload(scale: float, seed: int):
@@ -193,6 +209,24 @@ SUITE: tuple[BenchCase, ...] = (
         description="CRH on the sparse CSR backend, 5% density",
         build=_backend_payload,
         run=_run_backend("sparse"),
+    ),
+    BenchCase(
+        name="backend/process-w1",
+        description="CRH on the process backend, 1 worker, 5% density",
+        build=_backend_payload,
+        run=_run_process_backend(1),
+    ),
+    BenchCase(
+        name="backend/process-w2",
+        description="CRH on the process backend, 2 workers, 5% density",
+        build=_backend_payload,
+        run=_run_process_backend(2),
+    ),
+    BenchCase(
+        name="backend/process-w4",
+        description="CRH on the process backend, 4 workers, 5% density",
+        build=_backend_payload,
+        run=_run_process_backend(4),
     ),
     BenchCase(
         name="fig7/scaling_point",

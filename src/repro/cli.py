@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Callable
 
 from . import experiments as exp
-from .engine import BACKEND_NAMES, use_default_backend
+from .engine import BACKEND_NAMES, set_default_workers, use_default_backend
 from .observability import JsonlTracer, RunReport, experiment_record
 from .observability.tracer import Tracer
 
@@ -96,9 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend", choices=BACKEND_NAMES, default="auto",
         help=("execution backend every solver resolves 'auto' to: dense "
-              "(K, N) matrices or sparse CSR claims; results are "
-              "bit-identical (default: follow each dataset's "
-              "representation)"),
+              "(K, N) matrices, sparse CSR claims, or process "
+              "(shared-memory worker pool); results are bit-identical "
+              "(default: footprint recommendation)"),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help=("worker process count for the process backend (default: "
+              "the usable CPU count); ignored by other backends"),
     )
     return parser
 
@@ -183,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
               f"try 'crh-repro list'", file=sys.stderr)
         return 2
     tracer = JsonlTracer(args.trace) if args.trace is not None else None
+    set_default_workers(args.workers)
     try:
         with use_default_backend(args.backend):
             if args.experiment == "all":
@@ -193,6 +199,7 @@ def main(argv: list[str] | None = None) -> int:
                 _run_one(args.experiment, args.seed, args.scale,
                          args.output, tracer)
     finally:
+        set_default_workers(None)
         if tracer is not None:
             tracer.close()
     if args.trace is not None:

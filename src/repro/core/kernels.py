@@ -151,6 +151,12 @@ def segment_weighted_median(values: np.ndarray, claim_weights: np.ndarray,
     value (stable, so equal values keep source order), accumulate
     weights, and pick the first claim whose cumulative weight reaches
     ``W/2 - 1e-12``.
+
+    Every prefix mass is evaluated *segment-locally* (a reduction over
+    the group's own rows only, never a global running sum), so the
+    result for a group is a pure function of that group's claims.  This
+    is what lets the process backend evaluate shards of the claim array
+    independently and still match the single-array backends bit for bit.
     """
     values = np.asarray(values, dtype=np.float64)
     if group_of_claim is None:
@@ -160,26 +166,36 @@ def segment_weighted_median(values: np.ndarray, claim_weights: np.ndarray,
     n_groups = indptr.shape[0] - 1
     order = np.lexsort((values, group_of_claim))
     sorted_values = values[order]
-    sorted_weights = weights[order]
-    sorted_groups = group_of_claim[order]
+    # One trailing zero lets reduceat accept a prefix ending at the
+    # array's full length without changing any prefix sum.
+    sorted_weights = np.concatenate([weights[order], [0.0]])
 
-    cumulative = np.cumsum(sorted_weights)
-    prefix = np.concatenate([[0.0], cumulative])[indptr[:-1]]
-    within = cumulative - prefix[sorted_groups]
-    half = totals / 2.0
-    reached = within >= half[sorted_groups] - 1e-12
-    # First crossing per group: scatter row indices in reverse so the
-    # earliest row wins; float pathologies fall back to the last row.
-    chosen = np.full(n_groups, -1, dtype=np.int64)
-    rows = np.flatnonzero(reached)
-    chosen[sorted_groups[rows][::-1]] = rows[::-1]
-    sizes = np.diff(indptr)
-    missing = (chosen < 0) & (sizes > 0)
-    if missing.any():
-        chosen[missing] = indptr[1:][missing] - 1
+    starts = np.asarray(indptr[:-1], dtype=np.int64)
+    sizes = np.diff(indptr).astype(np.int64)
+    threshold = totals / 2.0 - 1e-12
+    # Per-group binary search over the claim rank: find the first sorted
+    # row whose segment-local prefix mass reaches the half-mass
+    # threshold.  Prefix masses are non-decreasing in the rank (weights
+    # are non-negative and float addition of non-negative terms is
+    # monotone), and the full-group prefix always reaches the threshold,
+    # so the search converges to the first crossing.
+    lo = np.zeros(n_groups, dtype=np.int64)
+    hi = np.maximum(sizes - 1, 0)
+    occupied = np.flatnonzero(sizes > 0)
+    while True:
+        open_ = occupied[lo[occupied] < hi[occupied]]
+        if open_.size == 0:
+            break
+        mid = (lo[open_] + hi[open_]) >> 1
+        bounds = np.empty(2 * open_.size, dtype=np.int64)
+        bounds[0::2] = starts[open_]
+        bounds[1::2] = starts[open_] + mid + 1
+        prefix_mass = np.add.reduceat(sorted_weights, bounds)[0::2]
+        reached = prefix_mass >= threshold[open_]
+        hi[open_[reached]] = mid[reached]
+        lo[open_[~reached]] = mid[~reached] + 1
     result = np.full(n_groups, np.nan)
-    has_claims = sizes > 0
-    result[has_claims] = sorted_values[chosen[has_claims]]
+    result[occupied] = sorted_values[starts[occupied] + lo[occupied]]
     return result
 
 

@@ -53,6 +53,7 @@ def per_source_deviations(
     losses: list[Loss],
     states: list[TruthState],
     options: DeviationOptions = DeviationOptions(),
+    claim_deviations=None,
 ) -> np.ndarray:
     """Aggregate ``(K,)`` deviations of every source from the truths.
 
@@ -60,12 +61,24 @@ def per_source_deviations(
     :class:`~repro.data.table.MultiSourceDataset` or a sparse
     :class:`~repro.data.claims_matrix.ClaimsMatrix`: the reduction runs
     over each property's claim view either way.
+
+    ``claim_deviations`` optionally overrides where the per-claim
+    deviations come from: a callable ``(index, prop, loss, state) ->
+    (n_claims,) array`` in canonical claim order.  The process backend
+    points this at its worker-filled shared scratch so the reduction —
+    and therefore the bit pattern of the result — is exactly the inline
+    one, just with the element-wise deviation pass already done.
     """
     k = dataset.n_sources
     totals = np.zeros(k, dtype=np.float64)
     counts = np.zeros(k, dtype=np.float64)
-    for prop, loss, state in zip(dataset.properties, losses, states):
-        dev = loss.claim_deviations(state, prop)
+    for index, (prop, loss, state) in enumerate(
+        zip(dataset.properties, losses, states)
+    ):
+        if claim_deviations is None:
+            dev = loss.claim_deviations(state, prop)
+        else:
+            dev = claim_deviations(index, prop, loss, state)
         if options.property_scale == "mean":
             with np.errstate(invalid="ignore"):
                 scale = np.nanmean(dev) if dev.size else np.nan

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..data.schema import PropertyKind
 from ..data.table import TruthTable
-from ..engine import BACKEND_NAMES, make_backend
+from ..engine import BACKEND_NAMES, ProcessBackendError, make_backend
 from ..observability import iteration_record, run_finished, run_started
 from ..observability.profiling import Profiler, activate, span
 from ..observability.tracer import Tracer
@@ -32,7 +32,6 @@ from .losses import Loss, TruthState, loss_by_name
 from .objective import (
     ConvergenceCriterion,
     DeviationOptions,
-    objective_value,
     per_source_deviations,
 )
 from .regularizers import ExponentialWeights, WeightScheme
@@ -63,9 +62,15 @@ class CRHConfig:
         :class:`repro.core.objective.DeviationOptions`).
     backend:
         Execution backend: ``"dense"`` ((K, N) matrices), ``"sparse"``
-        (CSR claims), or ``"auto"`` (follow the input's representation;
-        see :func:`repro.engine.make_backend`).  Both backends produce
-        bit-identical results — this is a memory/layout choice.
+        (CSR claims), ``"process"`` (sparse claims sharded across worker
+        processes over shared memory), or ``"auto"`` (footprint
+        recommendation; see :func:`repro.engine.make_backend`).  All
+        backends produce bit-identical results — this is a
+        memory/layout/parallelism choice.
+    n_workers:
+        Worker count for the process backend (``None`` — the session
+        default from :func:`repro.engine.set_default_workers`, else the
+        usable CPU count).  Ignored by the other backends.
     seed:
         Used only by the random initializer.
     """
@@ -83,6 +88,7 @@ class CRHConfig:
     normalize_by_counts: bool = True
     property_scale: str = "none"
     backend: str = "auto"
+    n_workers: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -93,6 +99,8 @@ class CRHConfig:
                 f"backend must be one of {BACKEND_NAMES}, "
                 f"got {self.backend!r}"
             )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1 when given")
 
     def with_(self, **changes) -> "CRHConfig":
         """A copy of this config with the given fields replaced."""
@@ -167,97 +175,186 @@ class CRHSolver:
         records just before ``run_end``.  With neither (the default) no
         record is ever constructed, so the uninstrumented hot path is
         unchanged and results are bit-identical.
+
+        With ``backend="process"`` the truth and deviation passes run on
+        a shared-memory worker pool; any worker failure (and any loss
+        without a worker implementation) degrades the run to inline
+        sparse execution, recording the reason as ``backend_reason`` —
+        in ``run_start`` when degradation happens at setup, in
+        ``run_end`` when a worker dies mid-run.  A pool the solver
+        created itself is torn down in all cases (errors and
+        KeyboardInterrupt included); a caller-built
+        :class:`~repro.engine.ProcessBackend` keeps its pool warm for
+        the next run.
         """
         started = time.perf_counter()
         config = self.config
         prof = (profiler if profiler is not None and profiler.enabled
                 else None)
-        with activate(prof):
-            with span(prof, "setup"):
-                backend = make_backend(dataset, config.backend)
-                dataset = backend.data
-                options = config.deviation_options()
-                losses = self._losses_for(dataset)
-                states = self._initial_states(dataset, losses)
-            criterion = ConvergenceCriterion(tol=config.tol,
-                                             patience=config.patience)
-            weights = np.ones(dataset.n_sources, dtype=np.float64)
-            history: list[float] = []
-            converged = False
-            iterations = 0
-            tracing = tracer is not None and tracer.enabled
-            if tracing:
-                tracer.emit(run_started(
-                    "CRH",
-                    n_sources=dataset.n_sources,
-                    n_objects=dataset.n_objects,
-                    n_properties=len(dataset.schema),
-                    backend=backend.name,
-                    backend_reason=backend.resolution,
-                    n_claims=backend.n_claims(),
-                ))
+        source = dataset
+        backend = None
+        owns_backend = False
+        runner = None
+        degraded_reason: str | None = None
+        try:
+            with activate(prof):
+                with span(prof, "setup"):
+                    backend = make_backend(source, config.backend,
+                                           n_workers=config.n_workers)
+                    owns_backend = backend is not source
+                    dataset = backend.data
+                    options = config.deviation_options()
+                    losses = self._losses_for(dataset)
+                    states = self._initial_states(dataset, losses)
+                    if getattr(backend, "supports_workers", False):
+                        try:
+                            runner = backend.start_runner(losses,
+                                                          profiler=prof)
+                            runner.seed(states)
+                        except ProcessBackendError as error:
+                            degraded_reason = (
+                                "process backend degraded to inline "
+                                f"sparse execution: {error}"
+                            )
+                            runner = None
 
-            for iterations in range(1, config.max_iterations + 1):
-                step_started = time.perf_counter() if tracing else 0.0
-                # Step I (Eq. 2): weights from deviations under current
-                # truths.
-                with span(prof, "weight_step"):
-                    deviations = per_source_deviations(dataset, losses,
-                                                       states, options)
-                    previous_weights = weights
-                    weights = config.weight_scheme.weights(deviations)
-                if tracing:
-                    weight_seconds = time.perf_counter() - step_started
-                    previous_states = states
-                    step_started = time.perf_counter()
-                # Step II (Eq. 3): per-entry truth update under fixed
-                # weights.
-                with span(prof, "truth_step"):
-                    states = [
+                def degrade(error: ProcessBackendError) -> None:
+                    nonlocal runner, degraded_reason
+                    degraded_reason = (
+                        "process worker failed mid-run; finishing "
+                        f"inline on sparse claims: {error}"
+                    )
+                    runner = None
+                    backend.close()
+
+                def aggregate_deviations(current) -> np.ndarray:
+                    if runner is not None:
+                        try:
+                            return runner.per_source(current, options)
+                        except ProcessBackendError as error:
+                            degrade(error)
+                    return per_source_deviations(dataset, losses,
+                                                 current, options)
+
+                def truth_step(weights) -> list[TruthState]:
+                    if runner is not None:
+                        try:
+                            return runner.truth_step(weights)
+                        except ProcessBackendError as error:
+                            degrade(error)
+                    return [
                         loss.update_truth(prop, weights)
                         for loss, prop in zip(losses, dataset.properties)
                     ]
-                with span(prof, "objective"):
-                    objective = objective_value(dataset, losses, states,
-                                                weights, options)
-                history.append(objective)
-                if tracing:
-                    tracer.emit(iteration_record(
-                        iterations,
-                        objective=objective,
-                        weights=weights,
-                        weight_delta=float(
-                            np.abs(weights - previous_weights).max()
-                        ),
-                        truth_changes=_truth_change_count(previous_states,
-                                                          states),
-                        truth_seconds=time.perf_counter() - step_started,
-                        weight_seconds=weight_seconds,
-                    ))
-                if criterion.update(objective):
-                    converged = True
-                    break
-            with span(prof, "finalize"):
-                truths = states_to_truth_table(dataset, states)
 
-        if tracing:
-            if prof is not None:
-                prof.flush_to(tracer)
-            tracer.emit(run_finished(
+                criterion = ConvergenceCriterion(tol=config.tol,
+                                                 patience=config.patience)
+                weights = np.ones(dataset.n_sources, dtype=np.float64)
+                history: list[float] = []
+                converged = False
+                iterations = 0
+                tracing = tracer is not None and tracer.enabled
+                backend_name = backend.name
+                backend_reason = backend.resolution
+                if degraded_reason is not None:
+                    # Setup-time degradation: the run executes inline on
+                    # the sparse claim storage from the start.
+                    backend_name = "sparse"
+                    backend_reason = degraded_reason
+                if tracing:
+                    tracer.emit(run_started(
+                        "CRH",
+                        n_sources=dataset.n_sources,
+                        n_objects=dataset.n_objects,
+                        n_properties=len(dataset.schema),
+                        backend=backend_name,
+                        backend_reason=backend_reason,
+                        n_claims=backend.n_claims(),
+                        n_workers=(runner.n_workers
+                                   if runner is not None else None),
+                    ))
+
+                # The aggregate of iteration i's objective is exactly the
+                # deviation vector iteration i+1's weight step needs
+                # (same states, same reduction), so it is computed once
+                # and carried over.
+                aggregated: np.ndarray | None = None
+                for iterations in range(1, config.max_iterations + 1):
+                    step_started = time.perf_counter() if tracing else 0.0
+                    # Step I (Eq. 2): weights from deviations under
+                    # current truths.
+                    with span(prof, "weight_step"):
+                        if aggregated is None:
+                            aggregated = aggregate_deviations(states)
+                        previous_weights = weights
+                        weights = config.weight_scheme.weights(aggregated)
+                    if tracing:
+                        weight_seconds = time.perf_counter() - step_started
+                        previous_states = states
+                        step_started = time.perf_counter()
+                    # Step II (Eq. 3): per-entry truth update under fixed
+                    # weights.
+                    with span(prof, "truth_step"):
+                        states = truth_step(weights)
+                    with span(prof, "objective"):
+                        aggregated = aggregate_deviations(states)
+                        objective = float(np.dot(weights, aggregated))
+                    history.append(objective)
+                    if tracing:
+                        tracer.emit(iteration_record(
+                            iterations,
+                            objective=objective,
+                            weights=weights,
+                            weight_delta=float(
+                                np.abs(weights - previous_weights).max()
+                            ),
+                            truth_changes=_truth_change_count(
+                                previous_states, states),
+                            truth_seconds=(time.perf_counter()
+                                           - step_started),
+                            weight_seconds=weight_seconds,
+                        ))
+                    if criterion.update(objective):
+                        converged = True
+                        break
+                with span(prof, "finalize"):
+                    truths = states_to_truth_table(dataset, states)
+
+            if tracing:
+                if prof is not None:
+                    prof.flush_to(tracer)
+                extras: dict = {}
+                if runner is not None:
+                    efficiency = runner.parallel_efficiency()
+                    if efficiency is not None:
+                        extras["parallel_efficiency"] = float(efficiency)
+                elif (degraded_reason is not None
+                        and backend_name == "process"):
+                    # Mid-run degradation: run_start advertised the
+                    # process backend, so the correction lands here.
+                    extras["backend"] = "sparse"
+                    extras["backend_reason"] = degraded_reason
+                tracer.emit(run_finished(
+                    iterations=iterations,
+                    converged=converged,
+                    elapsed_seconds=time.perf_counter() - started,
+                    **extras,
+                ))
+            return TruthDiscoveryResult(
+                truths=truths,
+                weights=weights,
+                source_ids=dataset.source_ids,
+                method="CRH",
                 iterations=iterations,
                 converged=converged,
+                objective_history=history,
                 elapsed_seconds=time.perf_counter() - started,
-            ))
-        return TruthDiscoveryResult(
-            truths=truths,
-            weights=weights,
-            source_ids=dataset.source_ids,
-            method="CRH",
-            iterations=iterations,
-            converged=converged,
-            objective_history=history,
-            elapsed_seconds=time.perf_counter() - started,
-        )
+            )
+        finally:
+            if backend is not None and owns_backend:
+                closer = getattr(backend, "close", None)
+                if closer is not None:
+                    closer()
 
 
 def _truth_change_count(old_states: list[TruthState],

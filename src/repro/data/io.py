@@ -12,6 +12,16 @@ Two interchange formats are supported:
 Both round-trip losslessly through the dense in-memory representation
 (categorical labels are written as text; continuous values as ``repr``
 floats so no precision is lost).
+
+Sparse datasets stay sparse end to end:
+:class:`~repro.data.claims_matrix.ClaimsMatrix` inputs to
+:func:`save_dataset` are written as ``claims.npz`` (per-property claim
+triples) plus ``dataset.json`` (ids and codec labels) — never densified
+— and :func:`load_dataset` rebuilds them through
+:func:`~repro.data.claims_matrix.claims_from_arrays`; record CSVs
+ingest sparse-natively via ``read_records_csv(..., sparse=True)``.
+Cheap sparse loading is what makes handing claim arrays to the
+shared-memory process backend an O(claims) copy.
 """
 
 from __future__ import annotations
@@ -54,18 +64,25 @@ def write_records_csv(dataset: MultiSourceDataset, path: str | Path) -> int:
     return rows
 
 
-def read_records_csv(path: str | Path,
-                     schema: DatasetSchema) -> MultiSourceDataset:
-    """Read a record CSV written by :func:`write_records_csv`."""
+def read_records_csv(path: str | Path, schema: DatasetSchema, *,
+                     sparse: bool = False):
+    """Read a record CSV written by :func:`write_records_csv`.
+
+    With ``sparse=True`` the rows stream straight into per-property
+    claim arrays and build a
+    :class:`~repro.data.claims_matrix.ClaimsMatrix` through
+    :func:`~repro.data.claims_matrix.claims_from_arrays` — no dense
+    ``(K, N)`` matrix is ever allocated, and duplicate ``(source,
+    object)`` claims keep the last row, matching the dense builder's
+    overwrite semantics.
+    """
     path = Path(path)
+    if sparse:
+        return _read_records_sparse(path, schema)
     builder = DatasetBuilder(schema)
     with path.open(newline="") as handle:
         reader = csv.DictReader(handle)
-        missing = set(_RECORD_FIELDS[:4]) - set(reader.fieldnames or ())
-        if missing:
-            raise ValueError(
-                f"{path}: record CSV missing columns {sorted(missing)}"
-            )
+        _check_record_columns(path, reader)
         for row in reader:
             name = row["property"]
             prop = schema[name]
@@ -76,6 +93,95 @@ def read_records_csv(path: str | Path,
             builder.add(row["object_id"], row["source_id"], name, value,
                         timestamp=timestamp)
     return builder.build()
+
+
+def _check_record_columns(path: Path, reader: csv.DictReader) -> None:
+    missing = set(_RECORD_FIELDS[:4]) - set(reader.fieldnames or ())
+    if missing:
+        raise ValueError(
+            f"{path}: record CSV missing columns {sorted(missing)}"
+        )
+
+
+def _read_records_sparse(path: Path, schema: DatasetSchema):
+    """Stream a record CSV into a ClaimsMatrix via claims_from_arrays."""
+    from .claims_matrix import claims_from_arrays
+
+    if any(p.kind is PropertyKind.TEXT for p in schema):
+        raise ValueError(
+            "sparse record ingestion supports categorical/continuous "
+            "properties only (the claims matrix has no text storage)"
+        )
+    codecs: dict[str, CategoricalCodec] = {}
+    for prop in schema:
+        if prop.uses_codec:
+            codecs[prop.name] = (
+                CategoricalCodec.from_domain(prop.categories)
+                if prop.categories is not None else CategoricalCodec()
+            )
+    sources: list = []
+    source_index: dict = {}
+    objects: list = []
+    object_index: dict = {}
+    # property name -> (values, source indices, object indices)
+    cells: dict[str, tuple[list, list, list]] = {
+        p.name: ([], [], []) for p in schema
+    }
+    timestamps: dict[int, int] = {}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        _check_record_columns(path, reader)
+        for row in reader:
+            name = row["property"]
+            prop = schema[name]
+            object_id = row["object_id"]
+            i = object_index.get(object_id)
+            if i is None:
+                i = object_index[object_id] = len(objects)
+                objects.append(object_id)
+            source_id = row["source_id"]
+            k = source_index.get(source_id)
+            if k is None:
+                k = source_index[source_id] = len(sources)
+                sources.append(source_id)
+            raw = row["value"]
+            values, srcs, objs = cells[name]
+            values.append(codecs[name].encode(raw) if prop.uses_codec
+                          else float(raw))
+            srcs.append(k)
+            objs.append(i)
+            ts_text = row.get("timestamp") or ""
+            if ts_text:
+                timestamps[i] = int(ts_text)
+    if not objects:
+        raise ValueError(f"{path}: no records")
+    n_sources = len(sources)
+    columns = {}
+    for prop in schema:
+        values, srcs, objs = cells[prop.name]
+        dtype = np.int32 if prop.uses_codec else np.float64
+        val = np.asarray(values, dtype=dtype)
+        src = np.asarray(srcs, dtype=np.int32)
+        obj = np.asarray(objs, dtype=np.int32)
+        if val.size:
+            # keep only the LAST claim per (source, object) cell,
+            # matching DatasetBuilder's dense overwrite semantics
+            order = np.lexsort((np.arange(val.size), src, obj))
+            src, obj, val = src[order], obj[order], val[order]
+            cell_key = obj.astype(np.int64) * n_sources + src
+            last = np.ones(val.size, dtype=bool)
+            last[:-1] = cell_key[1:] != cell_key[:-1]
+            src, obj, val = src[last], obj[last], val[last]
+        columns[prop.name] = (val, src, obj)
+    object_timestamps = None
+    if timestamps:
+        object_timestamps = np.zeros(len(objects), dtype=np.int64)
+        for i, stamp in timestamps.items():
+            object_timestamps[i] = stamp
+    return claims_from_arrays(
+        schema, sources, objects, columns, codecs=codecs,
+        object_timestamps=object_timestamps,
+    )
 
 
 def write_truth_csv(truth: TruthTable, path: str | Path) -> int:
@@ -162,16 +268,85 @@ def schema_from_json(text: str) -> DatasetSchema:
     return DatasetSchema(properties=tuple(props))
 
 
-def save_dataset(dataset: MultiSourceDataset, directory: str | Path) -> None:
-    """Save schema + records (+ optional stats) under ``directory``."""
+def _plain(value):
+    """JSON-safe scalar: numpy scalars become their Python equivalents."""
+    return value.item() if isinstance(value, np.generic) else value
+
+
+def save_dataset(dataset, directory: str | Path) -> None:
+    """Save a dataset under ``directory``.
+
+    Dense :class:`~repro.data.table.MultiSourceDataset` inputs write
+    ``schema.json`` + ``records.csv`` (the record interchange format).
+    Sparse :class:`~repro.data.claims_matrix.ClaimsMatrix` inputs are
+    saved sparse-natively — ``schema.json`` + ``claims.npz`` (the
+    per-property claim triples) + ``dataset.json`` (source/object ids,
+    codec labels, timestamps presence) — so saving is O(claims) in time
+    and space and never materializes a ``(K, N)`` matrix.
+    """
+    from .claims_matrix import ClaimsMatrix
+
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     (directory / "schema.json").write_text(schema_to_json(dataset.schema))
-    write_records_csv(dataset, directory / "records.csv")
+    if not isinstance(dataset, ClaimsMatrix):
+        write_records_csv(dataset, directory / "records.csv")
+        return
+    arrays: dict[str, np.ndarray] = {}
+    for index, prop in enumerate(dataset.properties):
+        view = prop.claim_view()
+        arrays[f"p{index}_values"] = view.values
+        arrays[f"p{index}_source_idx"] = view.source_idx
+        arrays[f"p{index}_object_idx"] = view.object_idx
+    if dataset.object_timestamps is not None:
+        arrays["object_timestamps"] = dataset.object_timestamps
+    np.savez_compressed(directory / "claims.npz", **arrays)
+    meta = {
+        "source_ids": [_plain(s) for s in dataset.source_ids],
+        "object_ids": [_plain(o) for o in dataset.object_ids],
+        "codecs": {
+            name: [_plain(label) for label in codec.labels]
+            for name, codec in dataset.codecs().items()
+        },
+    }
+    (directory / "dataset.json").write_text(json.dumps(meta, indent=2))
 
 
-def load_dataset(directory: str | Path) -> MultiSourceDataset:
-    """Load a dataset saved by :func:`save_dataset`."""
+def load_dataset(directory: str | Path):
+    """Load a dataset saved by :func:`save_dataset`.
+
+    Directories holding ``claims.npz`` load back as a
+    :class:`~repro.data.claims_matrix.ClaimsMatrix` (through
+    :func:`~repro.data.claims_matrix.claims_from_arrays`, without any
+    dense allocation); record-CSV directories load as a dense
+    :class:`~repro.data.table.MultiSourceDataset` as before.
+    """
+    from .claims_matrix import claims_from_arrays
+
     directory = Path(directory)
     schema = schema_from_json((directory / "schema.json").read_text())
-    return read_records_csv(directory / "records.csv", schema)
+    claims_path = directory / "claims.npz"
+    if not claims_path.exists():
+        return read_records_csv(directory / "records.csv", schema)
+    meta = json.loads((directory / "dataset.json").read_text())
+    codecs = {
+        name: CategoricalCodec(
+            labels, frozen=schema[name].categories is not None
+        )
+        for name, labels in meta.get("codecs", {}).items()
+    }
+    with np.load(claims_path) as bundle:
+        columns = {}
+        for index, prop in enumerate(schema):
+            columns[prop.name] = (
+                bundle[f"p{index}_values"],
+                bundle[f"p{index}_source_idx"],
+                bundle[f"p{index}_object_idx"],
+            )
+        object_timestamps = (bundle["object_timestamps"]
+                             if "object_timestamps" in bundle.files
+                             else None)
+    return claims_from_arrays(
+        schema, meta["source_ids"], meta["object_ids"], columns,
+        codecs=codecs, object_timestamps=object_timestamps,
+    )

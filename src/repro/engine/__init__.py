@@ -1,8 +1,9 @@
-"""Execution-backend layer: dense vs sparse claim storage for engines.
+"""Execution-backend layer: dense, sparse and multiprocess claim storage.
 
-See :mod:`repro.engine.backend` for the protocol and the two concrete
-backends; all three CRH engines (solver, MapReduce, streaming) resolve
-their input through :func:`make_backend`.
+See :mod:`repro.engine.backend` for the protocol and the dense/sparse
+backends, and :mod:`repro.engine.process` for the shared-memory
+multiprocessing backend; all three CRH engines (solver, MapReduce,
+streaming) resolve their input through :func:`make_backend`.
 """
 
 from .backend import (
@@ -15,14 +16,28 @@ from .backend import (
     set_default_backend,
     use_default_backend,
 )
+from .process import (
+    PROCESS_AUTO_CLAIM_THRESHOLD,
+    ProcessBackend,
+    ProcessBackendError,
+    available_workers,
+    get_default_workers,
+    set_default_workers,
+)
 
 __all__ = [
     "BACKEND_NAMES",
     "DenseBackend",
     "ExecutionBackend",
+    "PROCESS_AUTO_CLAIM_THRESHOLD",
+    "ProcessBackend",
+    "ProcessBackendError",
     "SparseBackend",
+    "available_workers",
     "get_default_backend",
+    "get_default_workers",
     "make_backend",
     "set_default_backend",
+    "set_default_workers",
     "use_default_backend",
 ]

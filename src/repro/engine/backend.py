@@ -12,19 +12,24 @@ are stored as:
   :class:`~repro.data.claims_matrix.ClaimsMatrix` storing exactly the
   claims in CSR-by-object form.  Memory is proportional to the number of
   claims, not ``K x N``; right below ~40% claim density.
+* :class:`~repro.engine.process.ProcessBackend` — sparse claim storage
+  sharded across worker processes over shared memory, for true parallel
+  CRH on multi-core machines (see :mod:`repro.engine.process`).
 
-Both backends feed kernels the identical canonically-ordered claim view,
+All backends feed kernels the identical canonically-ordered claim view,
 so results are bit-identical — the choice is purely a
-memory/layout trade-off.  :func:`make_backend` resolves a dataset plus a
-``backend`` name (``"auto"``, ``"dense"``, ``"sparse"``) into a backend,
-converting the representation when the request disagrees with the input.
-``"auto"`` follows the session default when one was set, and otherwise
-the footprint recommendation of
+memory/layout/parallelism trade-off.  :func:`make_backend` resolves a
+dataset plus a ``backend`` name (``"auto"``, ``"dense"``, ``"sparse"``,
+``"process"``) into a backend, converting the representation when the
+request disagrees with the input (and saying so in the backend's
+``resolution`` string).  ``"auto"`` follows the session default when one
+was set, and otherwise the footprint recommendation of
 :func:`repro.data.profile.recommended_backend` — whichever
-representation is projected smaller; the module-level default
-(:func:`set_default_backend` / :func:`use_default_backend`) lets
-harnesses and the CLI steer every ``"auto"`` resolution without
-threading a parameter through each call.
+representation is projected smaller — upgraded to the process backend
+for large sparse workloads when more than one CPU is usable; the
+module-level default (:func:`set_default_backend` /
+:func:`use_default_backend`) lets harnesses and the CLI steer every
+``"auto"`` resolution without threading a parameter through each call.
 """
 
 from __future__ import annotations
@@ -37,7 +42,12 @@ from ..data.profile import recommended_backend
 from ..data.table import MultiSourceDataset
 
 #: valid backend selector names
-BACKEND_NAMES = ("auto", "dense", "sparse")
+BACKEND_NAMES = ("auto", "dense", "sparse", "process")
+
+#: what each backend stores its claims as — the process backend keeps
+#: the sparse representation (its shared segments are internal), so
+#: conversion notes in resolution strings track these, not class names.
+_STORAGE = {"dense": "dense", "sparse": "sparse", "process": "sparse"}
 
 
 @runtime_checkable
@@ -181,7 +191,8 @@ def use_default_backend(name: str) -> Iterator[None]:
         set_default_backend(previous)
 
 
-def make_backend(data, backend: str = "auto") -> _BackendBase:
+def make_backend(data, backend: str = "auto", *,
+                 n_workers: int | None = None) -> _BackendBase:
     """Resolve a dataset (or backend) plus a selector into a backend.
 
     ``backend="auto"`` follows the session default when one was set
@@ -189,15 +200,31 @@ def make_backend(data, backend: str = "auto") -> _BackendBase:
     recommendation* of :func:`repro.data.profile.recommended_backend`:
     whichever representation is projected smaller wins, regardless of
     how the input happens to be stored — a dense panel at low claim
-    density runs sparse, a near-dense claims matrix runs dense.
-    Explicit ``"dense"``/``"sparse"`` convert the representation when
-    needed.  An already-built backend passes through (or converts, when
-    the explicit selector disagrees with it).
+    density runs sparse, a near-dense claims matrix runs dense.  A
+    sparse recommendation is upgraded to the process backend when the
+    claim count clears
+    :data:`repro.engine.process.PROCESS_AUTO_CLAIM_THRESHOLD` and more
+    than one CPU is usable.  Explicit ``"dense"``/``"sparse"``/
+    ``"process"`` convert the representation when needed.  An
+    already-built backend passes through (or converts, when the
+    explicit selector disagrees with it).
 
     The returned backend carries a ``resolution`` string explaining the
     choice; engines record it as ``backend_reason`` in their
-    ``run_start`` trace record.
+    ``run_start`` trace record.  Whenever the built backend stores the
+    claims differently than the input did — for datasets *and* for
+    already-built backends alike — the resolution ends with
+    ``" (converted from {dense|sparse})"``.
+
+    ``n_workers`` is forwarded to :class:`ProcessBackend` when the
+    resolution lands there (ignored otherwise).
     """
+    from .process import (
+        PROCESS_AUTO_CLAIM_THRESHOLD,
+        ProcessBackend,
+        available_workers,
+    )
+
     if backend not in BACKEND_NAMES:
         raise ValueError(
             f"backend must be one of {BACKEND_NAMES}, got {backend!r}"
@@ -208,10 +235,16 @@ def make_backend(data, backend: str = "auto") -> _BackendBase:
         if session != "auto":
             backend = session
             reason = f"session default ({session})"
+    source_storage = None
     if isinstance(data, _BackendBase):
         if backend == "auto" or backend == data.name:
             return data
+        source_storage = _STORAGE.get(data.name)
         data = data.data
+    elif isinstance(data, ClaimsMatrix):
+        source_storage = "sparse"
+    elif isinstance(data, MultiSourceDataset):
+        source_storage = "dense"
     if backend == "auto":
         try:
             backend, reason = recommended_backend(data)
@@ -221,7 +254,28 @@ def make_backend(data, backend: str = "auto") -> _BackendBase:
             backend = ("sparse" if isinstance(data, ClaimsMatrix)
                        else "dense")
             reason = "followed input representation (no footprint info)"
-    built = (SparseBackend(data) if backend == "sparse"
-             else DenseBackend(data))
+        else:
+            if backend == "sparse":
+                try:
+                    claims = int(data.n_observations())
+                except (AttributeError, TypeError):
+                    claims = 0
+                cpus = available_workers()
+                if (claims >= PROCESS_AUTO_CLAIM_THRESHOLD
+                        and cpus > 1):
+                    backend = "process"
+                    reason = (
+                        f"{reason}; {claims} claims >= "
+                        f"{PROCESS_AUTO_CLAIM_THRESHOLD} with {cpus} "
+                        f"CPUs usable -> process"
+                    )
+    if backend == "process":
+        built: _BackendBase = ProcessBackend(data, n_workers=n_workers)
+    elif backend == "sparse":
+        built = SparseBackend(data)
+    else:
+        built = DenseBackend(data)
+    if source_storage is not None and source_storage != _STORAGE[backend]:
+        reason = f"{reason} (converted from {source_storage})"
     built.resolution = reason
     return built

@@ -26,3 +26,30 @@ def array_partition(keys: np.ndarray, n_reducers: int) -> np.ndarray:
     if not np.issubdtype(keys.dtype, np.integer):
         raise TypeError(f"array partitioner needs integer keys, got {keys.dtype}")
     return (keys % n_reducers).astype(np.int64)
+
+
+def range_partition(indptr: np.ndarray, n_parts: int) -> np.ndarray:
+    """Split a CSR row pointer into claim-balanced contiguous row ranges.
+
+    Returns ``n_parts + 1`` row boundaries ``b`` such that rows
+    ``b[i]:b[i + 1]`` of part ``i`` hold as close to ``total / n_parts``
+    claims as contiguous row cuts allow: each cut lands on the row whose
+    claim offset is nearest the ideal even split.  Parts are contiguous
+    and cover every row, so per-row (per-object) computations remain
+    independent across parts — the shard layout the process backend runs
+    the truth step over.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    indptr = np.asarray(indptr, dtype=np.int64)
+    total = int(indptr[-1])
+    targets = (total * np.arange(1, n_parts, dtype=np.int64)) // n_parts
+    cuts = np.searchsorted(indptr, targets, side="left")
+    bounds = np.empty(n_parts + 1, dtype=np.int64)
+    bounds[0] = 0
+    bounds[-1] = indptr.shape[0] - 1
+    bounds[1:-1] = np.clip(cuts, 0, indptr.shape[0] - 1)
+    # Boundaries must be non-decreasing even on degenerate pointers
+    # (more parts than claims, long empty-row runs).
+    np.maximum.accumulate(bounds, out=bounds)
+    return bounds

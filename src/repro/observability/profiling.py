@@ -89,6 +89,11 @@ class Profiler(Protocol):
         """Account one kernel invocation of ``seconds`` wall time."""
         ...
 
+    def record_phase(self, path: str, seconds: float,
+                     calls: int = 1) -> None:
+        """Account externally measured time under a phase path."""
+        ...
+
     def flush_to(self, tracer) -> int:
         """Emit unflushed aggregates to ``tracer``; returns #records."""
         ...
@@ -113,6 +118,10 @@ class NullProfiler:
         return nullcontext()
 
     def record_kernel(self, kernel: str, seconds: float) -> None:
+        """Discard the measurement."""
+
+    def record_phase(self, path: str, seconds: float,
+                     calls: int = 1) -> None:
         """Discard the measurement."""
 
     def flush_to(self, tracer) -> int:
@@ -199,6 +208,21 @@ class MemoryProfiler:
         stat = self._kernels.setdefault(kernel, _Stat())
         stat.seconds += seconds
         stat.calls += 1
+
+    def record_phase(self, path: str, seconds: float,
+                     calls: int = 1) -> None:
+        """Accumulate externally measured time under ``path``.
+
+        For work that happens where this profiler's :meth:`phase`
+        context manager cannot reach — the process backend accounts its
+        workers' busy seconds under ``truth_step/workers`` and
+        ``objective/workers`` this way.  Worker time overlaps the
+        parent's enclosing span wall-clock, so these paths measure *CPU
+        spread*, not additional latency.
+        """
+        stat = self._phases.setdefault(path, _Stat())
+        stat.seconds += float(seconds)
+        stat.calls += int(calls)
 
     # -- aggregate views ------------------------------------------------
     def phase_totals(self) -> dict[str, float]:

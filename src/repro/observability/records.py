@@ -38,13 +38,27 @@ METRIC_FIELDS: dict[str, str] = {
     "n_sources": "number of sources K in the traced dataset",
     "n_objects": "number of objects N in the traced dataset",
     "n_properties": "number of properties M in the traced dataset",
-    "backend": "execution backend the run used: dense ((K, N) matrices) "
-               "or sparse (CSR-by-object claims)",
+    "backend": "execution backend the run used: dense ((K, N) matrices), "
+               "sparse (CSR-by-object claims), or process (sparse claims "
+               "sharded across shared-memory worker processes); on "
+               "run_end it appears only when a mid-run worker failure "
+               "degraded the run, naming the backend that finished it",
     "backend_reason": "why the run resolved to its backend: an explicit "
                       "request, the session default, or the footprint "
-                      "recommendation of repro.data.profile",
+                      "recommendation of repro.data.profile — with "
+                      "' (converted from dense|sparse)' appended when "
+                      "the input representation was converted, or the "
+                      "degradation cause when a process run fell back "
+                      "to inline sparse execution",
     "n_claims": "number of stored claims (observed cells) across all "
                 "properties of the traced dataset",
+    "n_workers": "worker process count of the process backend's pool "
+                 "(absent for in-process backends)",
+    "parallel_efficiency": "busy fraction of the process backend's pool: "
+                           "sum of worker busy seconds / (n_workers x "
+                           "parallel round wall seconds); 1.0 would be "
+                           "perfectly balanced shards with zero dispatch "
+                           "overhead",
     "iteration": "1-based iteration index of Algorithm 1's outer loop",
     "objective": "value of the joint objective f(X*, W) after the "
                  "iteration (Eq. 1); non-increasing after the first "
@@ -138,19 +152,22 @@ def run_started(method: str, *, n_sources: int | None = None,
                 n_properties: int | None = None,
                 backend: str | None = None,
                 backend_reason: str | None = None,
-                n_claims: int | None = None) -> dict:
+                n_claims: int | None = None,
+                n_workers: int | None = None) -> dict:
     """A ``run_start`` record: method name plus dataset shape.
 
     ``backend`` tags which execution backend the engine resolved
-    (dense/sparse) and ``n_claims`` how many claims it holds — the pair
-    that explains a run's memory footprint; ``backend_reason`` records
-    *why* the resolution landed there (explicit request, session
-    default, or the footprint recommendation).
+    (dense/sparse/process) and ``n_claims`` how many claims it holds —
+    the pair that explains a run's memory footprint; ``backend_reason``
+    records *why* the resolution landed there (explicit request, session
+    default, or the footprint recommendation).  ``n_workers`` is the
+    process backend's pool size (absent for in-process backends).
     """
     return _record("run_start", method=method, n_sources=n_sources,
                    n_objects=n_objects, n_properties=n_properties,
                    backend=backend, backend_reason=backend_reason,
-                   n_claims=None if n_claims is None else int(n_claims))
+                   n_claims=None if n_claims is None else int(n_claims),
+                   n_workers=None if n_workers is None else int(n_workers))
 
 
 def profile_record(*, phase: str | None = None, kernel: str | None = None,

@@ -218,6 +218,13 @@ class RunReport:
                             else "hit iteration cap")
             if "elapsed_seconds" in end:
                 bits.append(f"{end['elapsed_seconds']:.3f}s wall")
+            if "parallel_efficiency" in end:
+                bits.append(
+                    f"{end['parallel_efficiency']:.0%} parallel "
+                    f"efficiency"
+                )
+            if "backend" in end:
+                bits.append(f"degraded to {end['backend']} backend")
             if bits:
                 lines.append("finished: " + ", ".join(bits))
         phases = self.phase_breakdown()

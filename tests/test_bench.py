@@ -39,6 +39,9 @@ class TestSuite:
             "primitives/weighted_vote",
             "backend/dense",
             "backend/sparse",
+            "backend/process-w1",
+            "backend/process-w2",
+            "backend/process-w4",
             "fig7/scaling_point",
             "streaming/icrh_chunks",
         ]
@@ -47,7 +50,8 @@ class TestSuite:
         assert [c.name for c in cases_by_name(["backend/dense"])] == \
             ["backend/dense"]
         assert [c.name for c in cases_by_name(["backend/"])] == \
-            ["backend/dense", "backend/sparse"]
+            ["backend/dense", "backend/sparse", "backend/process-w1",
+             "backend/process-w2", "backend/process-w4"]
 
     def test_cases_by_name_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown bench case"):

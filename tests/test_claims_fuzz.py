@@ -119,3 +119,26 @@ def test_baselines_stay_finite_on_fuzzed_data(dataset):
     for method in ("Investment", "2-Estimates", "AccuSim"):
         result = resolver_by_name(method).fit(dataset)
         assert np.isfinite(result.weights).all(), method
+
+
+@given(sparse_datasets())
+@settings(max_examples=10, deadline=None)
+def test_solver_backends_bit_identical(dataset):
+    """Dense, sparse, and process execution of the full CRH solve agree
+    to the bit on fuzzed mixed datasets (ISSUE PR-4 acceptance)."""
+    from repro.core.solver import crh
+
+    results = {
+        name: crh(dataset, backend=name, max_iterations=5)
+        for name in ("dense", "sparse")
+    }
+    results["process"] = crh(dataset, backend="process", max_iterations=5,
+                             n_workers=2)
+    for name in ("sparse", "process"):
+        for col_a, col_b in zip(results["dense"].truths.columns,
+                                results[name].truths.columns):
+            assert np.array_equal(col_a, col_b, equal_nan=True)
+        assert np.array_equal(results["dense"].weights,
+                              results[name].weights)
+        assert results["dense"].objective_history \
+            == results[name].objective_history

@@ -25,6 +25,8 @@ from repro.data import (
     claims_from_arrays,
     continuous,
 )
+from repro.engine import ProcessBackend
+from repro.observability import MemoryTracer
 from repro.parallel import ParallelCRHConfig, parallel_crh
 from repro.streaming import ICRHConfig, icrh
 
@@ -224,3 +226,118 @@ class TestMemoryFootprint:
         _assert_truths_equal(dense.truths, sparse.truths)
         assert np.array_equal(dense.weights, sparse.weights)
         assert dense.objective_history == sparse.objective_history
+
+
+def _text_dataset(seed, k=4, n=12):
+    """Conflicting name strings: edit_distance has no worker kernel, so
+    this dataset forces the process backend's setup-time fallback."""
+    from repro.data.schema import text
+    rng = np.random.default_rng(seed)
+    schema = DatasetSchema.of(text("name"), continuous("score"))
+    builder = DatasetBuilder(schema)
+    names = ["john smith", "jane doe", "acme corp"]
+    for i in range(n):
+        for s in range(k):
+            name = names[i % len(names)]
+            if s == k - 1 and i % 2:
+                name = name[:-1]
+            builder.add(f"s{s}", f"o{i}", "name", name)
+            builder.add(f"s{s}", f"o{i}", "score",
+                        float(rng.normal(50, 10)) if s == k - 1
+                        else 50.0 + i)
+    return builder.build()
+
+
+class TestProcessEquivalence:
+    @pytest.mark.parametrize("seed", range(2))
+    @pytest.mark.parametrize("cat_loss,cont_loss", LOSS_CONFIGS)
+    def test_three_way_bit_identical(self, seed, cat_loss, cont_loss):
+        dataset = _fuzz_dataset(seed + 60)
+        backend = ProcessBackend(dataset, n_workers=2)
+        try:
+            results = {
+                name: crh(dataset, categorical_loss=cat_loss,
+                          continuous_loss=cont_loss, backend=name,
+                          max_iterations=12)
+                for name in ("dense", "sparse")
+            }
+            results["process"] = crh(backend, categorical_loss=cat_loss,
+                                     continuous_loss=cont_loss,
+                                     backend="process", max_iterations=12)
+        finally:
+            backend.close()
+        for name in ("sparse", "process"):
+            _assert_truths_equal(results["dense"].truths,
+                                 results[name].truths)
+            assert np.array_equal(results["dense"].weights,
+                                  results[name].weights)
+            assert results["dense"].objective_history \
+                == results[name].objective_history
+            assert results["dense"].iterations == results[name].iterations
+
+    def test_warm_pool_reuse_across_fits(self):
+        """A caller-built backend keeps its worker pool across fits."""
+        dataset = _fuzz_dataset(65, k=6, n=30)
+        backend = ProcessBackend(dataset, n_workers=2)
+        try:
+            first = crh(backend, backend="process", max_iterations=8)
+            second = crh(backend, backend="process", max_iterations=8)
+        finally:
+            backend.close()
+        sparse = crh(dataset, backend="sparse", max_iterations=8)
+        for result in (first, second):
+            _assert_truths_equal(sparse.truths, result.truths)
+            assert np.array_equal(sparse.weights, result.weights)
+            assert sparse.objective_history == result.objective_history
+
+    def test_close_is_idempotent(self):
+        backend = ProcessBackend(_fuzz_dataset(66, k=4, n=15), n_workers=1)
+        crh(backend, backend="process", max_iterations=3)
+        backend.close()
+        backend.close()
+
+    def test_worker_crash_degrades_to_sparse(self):
+        """A mid-run worker failure finishes inline, bit-identically."""
+        dataset = _fuzz_dataset(67, k=6, n=30)
+        backend = ProcessBackend(dataset, n_workers=2, fail_after=6)
+        tracer = MemoryTracer()
+        try:
+            crashed = crh(backend, backend="process", max_iterations=10,
+                          tracer=tracer)
+        finally:
+            backend.close()
+        sparse = crh(dataset, backend="sparse", max_iterations=10)
+        _assert_truths_equal(sparse.truths, crashed.truths)
+        assert np.array_equal(sparse.weights, crashed.weights)
+        assert sparse.objective_history == crashed.objective_history
+        (end,) = [r for r in tracer.records if r["event"] == "run_end"]
+        assert end["backend"] == "sparse"
+        assert "worker failed mid-run" in end["backend_reason"]
+        assert "injected worker failure" in end["backend_reason"]
+
+    def test_unsupported_loss_degrades_at_setup(self):
+        """Losses without a worker implementation fall back before the
+        pool ever runs, and run_start already reports sparse."""
+        dataset = _text_dataset(68)
+        tracer = MemoryTracer()
+        degraded = crh(dataset, backend="process", max_iterations=8,
+                       tracer=tracer)
+        sparse = crh(dataset, backend="sparse", max_iterations=8)
+        _assert_truths_equal(sparse.truths, degraded.truths)
+        assert np.array_equal(sparse.weights, degraded.weights)
+        assert sparse.objective_history == degraded.objective_history
+        (start,) = [r for r in tracer.records
+                    if r["event"] == "run_start"]
+        assert start["backend"] == "sparse"
+        assert "degraded to inline sparse" in start["backend_reason"]
+        assert "edit_distance" in start["backend_reason"]
+
+    def test_parallel_efficiency_traced(self):
+        dataset = _fuzz_dataset(69, k=6, n=30)
+        tracer = MemoryTracer()
+        crh(dataset, backend="process", max_iterations=5, tracer=tracer)
+        (start,) = [r for r in tracer.records
+                    if r["event"] == "run_start"]
+        (end,) = [r for r in tracer.records if r["event"] == "run_end"]
+        assert start["n_workers"] >= 1
+        assert 0.0 <= end["parallel_efficiency"] <= 1.0

@@ -101,3 +101,92 @@ class TestDatasetDirectory:
         assert loaded.schema == tiny_dataset.schema
         assert loaded.n_observations() == tiny_dataset.n_observations()
         assert validate_dataset(loaded).ok
+
+
+class TestSparseIO:
+    """Sparse-native persistence: no densification on either direction."""
+
+    def _claims(self, dataset):
+        from repro.data import ClaimsMatrix
+
+        return ClaimsMatrix.from_dense(dataset)
+
+    def test_claims_matrix_save_load_roundtrip(self, small_weather,
+                                               tmp_path):
+        from repro.data import ClaimsMatrix
+
+        claims = self._claims(small_weather.dataset)
+        directory = tmp_path / "sparse-bundle"
+        save_dataset(claims, directory)
+        assert (directory / "claims.npz").exists()
+        assert (directory / "dataset.json").exists()
+        assert not (directory / "records.csv").exists()
+        loaded = load_dataset(directory)
+        assert isinstance(loaded, ClaimsMatrix)
+        assert loaded.schema == claims.schema
+        assert loaded.source_ids == claims.source_ids
+        assert loaded.object_ids == claims.object_ids
+        for mine, theirs in zip(claims.properties, loaded.properties):
+            a, b = mine.claim_view(), theirs.claim_view()
+            assert np.array_equal(a.values, b.values)
+            assert np.array_equal(a.source_idx, b.source_idx)
+            assert np.array_equal(a.object_idx, b.object_idx)
+            assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(claims.object_timestamps,
+                              loaded.object_timestamps)
+        for name, codec in claims.codecs().items():
+            assert loaded.codecs()[name].labels == codec.labels
+        # and the loaded matrix still densifies to the original table
+        dense = loaded.to_dense()
+        for mine, theirs in zip(small_weather.dataset.properties,
+                                dense.properties):
+            assert np.array_equal(mine.values, theirs.values,
+                                  equal_nan=True)
+
+    def test_sparse_csv_ingestion_matches_dense_path(self, small_weather,
+                                                     tmp_path):
+        from repro.data import ClaimsMatrix
+
+        dataset = small_weather.dataset
+        path = tmp_path / "records.csv"
+        write_records_csv(dataset, path)
+        sparse = read_records_csv(path, dataset.schema, sparse=True)
+        assert isinstance(sparse, ClaimsMatrix)
+        reference = ClaimsMatrix.from_dense(
+            read_records_csv(path, dataset.schema)
+        )
+        assert sparse.source_ids == reference.source_ids
+        assert sparse.object_ids == reference.object_ids
+        for mine, theirs in zip(sparse.properties, reference.properties):
+            a, b = mine.claim_view(), theirs.claim_view()
+            assert np.array_equal(a.values, b.values)
+            assert np.array_equal(a.source_idx, b.source_idx)
+            assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(sparse.object_timestamps,
+                              reference.object_timestamps)
+
+    def test_sparse_csv_keeps_last_duplicate(self, tmp_path):
+        from repro.data import DatasetSchema, continuous
+
+        schema = DatasetSchema.of(continuous("x"))
+        path = tmp_path / "dup.csv"
+        path.write_text(
+            "object_id,source_id,property,value,timestamp\n"
+            "o1,s1,x,1.0,\n"
+            "o1,s1,x,2.5,\n"
+        )
+        sparse = read_records_csv(path, schema, sparse=True)
+        view = sparse.properties[0].claim_view()
+        assert view.values.tolist() == [2.5]
+
+    def test_sparse_csv_rejects_text_schema(self, tmp_path):
+        from repro.data import DatasetSchema
+        from repro.data.schema import text
+
+        schema = DatasetSchema.of(text("notes"))
+        path = tmp_path / "text.csv"
+        path.write_text(
+            "object_id,source_id,property,value\no1,s1,notes,hello\n"
+        )
+        with pytest.raises(ValueError, match="text"):
+            read_records_csv(path, schema, sparse=True)

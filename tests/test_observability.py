@@ -359,3 +359,55 @@ class TestMultiRunReports:
         for path, seconds in prof.phase_totals().items():
             assert report.phase_breakdown()[path] == \
                 pytest.approx(seconds)
+
+
+class TestParallelismRecords:
+    """run_start/run_end fields added for the process backend."""
+
+    def test_run_started_carries_n_workers(self):
+        from repro.observability import run_started
+
+        record = run_started(method="crh", n_sources=3, n_objects=5,
+                             n_properties=1, n_workers=2)
+        assert record["n_workers"] == 2
+        without = run_started(method="crh", n_sources=3, n_objects=5,
+                              n_properties=1)
+        assert "n_workers" not in without
+
+    def test_run_finished_passes_parallelism_fields(self):
+        record = run_finished(iterations=4, converged=True,
+                              parallel_efficiency=0.75,
+                              backend="sparse",
+                              backend_reason="worker crashed")
+        assert record["parallel_efficiency"] == 0.75
+        assert record["backend"] == "sparse"
+        assert record["backend_reason"] == "worker crashed"
+
+    def test_new_fields_are_documented(self):
+        assert "n_workers" in METRIC_FIELDS
+        assert "parallel_efficiency" in METRIC_FIELDS
+
+    def test_summary_renders_efficiency_and_degradation(self):
+        report = RunReport.from_records([
+            {"event": "run_end", "iterations": 3,
+             "parallel_efficiency": 0.5},
+            {"event": "run_end", "iterations": 2, "backend": "sparse",
+             "backend_reason": "worker crashed"},
+        ])
+        summary = report.summary()
+        assert "50% parallel efficiency" in summary
+        assert "degraded to sparse backend" in summary
+
+    def test_traced_process_run_reports_efficiency(self, workload):
+        dataset, _ = workload
+        tracer = MemoryTracer()
+        crh(dataset, backend="process", max_iterations=4, n_workers=2,
+            tracer=tracer)
+        (start,) = [r for r in tracer.records
+                    if r["event"] == "run_start"]
+        (end,) = [r for r in tracer.records if r["event"] == "run_end"]
+        assert start["backend"] == "process"
+        assert start["n_workers"] == 2
+        assert 0.0 <= end["parallel_efficiency"] <= 1.0
+        assert "parallel efficiency" in \
+            RunReport.from_records(tracer.records).summary()

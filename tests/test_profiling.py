@@ -212,3 +212,40 @@ class TestProfileRecord:
         summary = RunReport(tracer.records).summary()
         assert "phases:" in summary
         assert "hot kernels:" in summary
+
+
+class TestRecordPhase:
+    """Externally measured time (worker busy seconds) folded into the
+    phase table via :meth:`Profiler.record_phase`."""
+
+    def test_memory_profiler_accumulates(self):
+        prof = MemoryProfiler()
+        prof.record_phase("truth_step/workers", 0.25, calls=4)
+        prof.record_phase("truth_step/workers", 0.15, calls=4)
+        prof.record_phase("objective/workers", 0.1)
+        assert prof.phase_totals()["truth_step/workers"] == \
+            pytest.approx(0.4)
+        assert prof.phase_calls()["truth_step/workers"] == 8
+        assert prof.phase_calls()["objective/workers"] == 1
+
+    def test_null_profiler_is_inert(self):
+        NullProfiler().record_phase("x", 1.0)
+
+    def test_flush_emits_recorded_phase(self):
+        prof = MemoryProfiler()
+        prof.record_phase("truth_step/workers", 0.5, calls=2)
+        tracer = MemoryTracer()
+        prof.flush_to(tracer)
+        (record,) = [r for r in tracer.records
+                     if r.get("phase") == "truth_step/workers"]
+        assert record["seconds"] == pytest.approx(0.5)
+        assert record["calls"] == 2
+
+    def test_process_run_records_worker_phases(self, workload):
+        prof = MemoryProfiler()
+        crh(workload, backend="process", max_iterations=4, n_workers=2,
+            profiler=prof)
+        totals = prof.phase_totals()
+        assert "truth_step/workers" in totals
+        assert "objective/workers" in totals
+        assert totals["truth_step/workers"] >= 0.0

@@ -1,4 +1,4 @@
-"""Dense vs sparse vs process backends: memory, wall time, scaling.
+"""Dense vs sparse vs process vs mmap backends: memory, time, scaling.
 
 Two acceptance benchmarks run here, on the same 5%-density synthetic
 workload (K=50 sources, N=100k objects, 3 continuous properties):
@@ -27,13 +27,16 @@ at full scale, where fixed overheads stop dominating.
 
 import argparse
 import os
+import tempfile
 import time
 import tracemalloc
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.solver import crh
 from repro.data import DatasetSchema, claims_from_arrays, continuous
+from repro.data.io import load_dataset, save_dataset
 from repro.engine import available_workers
 
 N_SOURCES = 50
@@ -160,6 +163,9 @@ def run_comparison() -> dict:
 
 def run_single(backend: str, n_workers: int | None = None) -> None:
     """CI smoke entry: one backend end to end, no comparison."""
+    if backend == "mmap":
+        run_mmap()
+        return
     dataset = build_workload()
     result, peak, seconds = measure(dataset, backend, n_workers=n_workers)
     label = backend if n_workers is None else f"{backend}-w{n_workers}"
@@ -170,6 +176,31 @@ def run_single(backend: str, n_workers: int | None = None) -> None:
     assert np.all(np.isfinite(result.weights))
 
 
+def run_mmap() -> None:
+    """Out-of-core smoke: save to disk, reload memmapped, match sparse.
+
+    Exercises the full out-of-core path — ``save_dataset`` (uncompressed
+    npz), ``load_dataset(mmap=True)`` opening the members as memmaps,
+    and the chunked mmap backend — and asserts the results are
+    bit-identical to inline sparse execution on the same workload.
+    """
+    dataset = build_workload()
+    sparse_result, _, sparse_seconds = measure(dataset, "sparse")
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        save_dataset(dataset, directory)
+        mapped = load_dataset(directory, mmap=True)
+        assert mapped.mmap_fallback_reason is None, \
+            mapped.mmap_fallback_reason
+        result, peak, seconds = measure(mapped, "mmap")
+    print(f"Backend smoke: K={N_SOURCES}, N={_n_objects():,}, "
+          f"density={DENSITY:.0%}{' [smoke]' if _smoke() else ''}")
+    print(render_row("sparse", 0, sparse_seconds))
+    print(render_row("mmap", peak, seconds))
+    _assert_identical(sparse_result, result)
+    print("  mmap results bit-identical to sparse")
+
+
 def test_backend_memory_scaling(benchmark):
     """pytest-benchmark entry: full comparison with the acceptance bars."""
     summary = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
@@ -177,10 +208,10 @@ def test_backend_memory_scaling(benchmark):
 
 
 def main() -> None:
-    """Script entry: ``--backend {dense,sparse,process,both}``."""
+    """Script entry: ``--backend {dense,sparse,process,mmap,both}``."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--backend", choices=("dense", "sparse", "process", "both"),
+        "--backend", choices=("dense", "sparse", "process", "mmap", "both"),
         default="both")
     parser.add_argument(
         "--workers", type=int, default=None,

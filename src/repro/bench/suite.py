@@ -19,6 +19,9 @@ The pinned cases:
 * ``backend/process-w{1,2,4}`` — the same workload on the
   shared-memory worker pool at 1/2/4 workers (the PR-4 scaling
   points; pool start-up and segment packing are inside the timing);
+* ``backend/mmap`` — the same workload saved to disk, reloaded as
+  memory-mapped claims, and run out-of-core chunk-at-a-time (chunk
+  reads are inside the timing, in the ``truth_step/io`` span);
 * ``fig7/scaling_point`` — one parallel-CRH point of the Fig. 7 grid
   (Adult-shaped workload, simulated cluster);
 * ``streaming/icrh_chunks`` — I-CRH over a chunked weather stream.
@@ -137,6 +140,38 @@ def _run_backend(backend: str):
     return run
 
 
+def _mmap_payload(scale: float, seed: int):
+    """The backend workload saved to disk and reloaded as memmaps.
+
+    The save/load round trip happens in ``build`` (not timed); the
+    returned matrix keeps its temporary directory alive for the
+    duration of the case, so the measured body streams real disk-backed
+    chunks.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..data.io import load_dataset, save_dataset
+
+    dataset = _backend_payload(scale, seed)
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-mmap-")
+    save_dataset(dataset, Path(tmpdir.name))
+    mapped = load_dataset(Path(tmpdir.name), mmap=True)
+    assert mapped.mmap_fallback_reason is None, mapped.mmap_fallback_reason
+    mapped._bench_tmpdir = tmpdir  # cleaned up when the payload dies
+    return mapped
+
+
+def _run_mmap_backend(payload, profiler: MemoryProfiler):
+    """A measured body running CRH out-of-core on memmapped claims.
+
+    ``chunk_claims`` is pinned small enough that even the reduced CI
+    grid sweeps several chunks per truth step.
+    """
+    return crh(payload, backend="mmap", chunk_claims=4_096,
+               max_iterations=5, profiler=profiler)
+
+
 def _run_process_backend(n_workers: int):
     """A measured body running CRH on the shared-memory worker pool.
 
@@ -227,6 +262,12 @@ SUITE: tuple[BenchCase, ...] = (
         description="CRH on the process backend, 4 workers, 5% density",
         build=_backend_payload,
         run=_run_process_backend(4),
+    ),
+    BenchCase(
+        name="backend/mmap",
+        description="CRH out-of-core on memmapped claims, 5% density",
+        build=_mmap_payload,
+        run=_run_mmap_backend,
     ),
     BenchCase(
         name="fig7/scaling_point",

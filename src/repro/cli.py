@@ -96,9 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend", choices=BACKEND_NAMES, default="auto",
         help=("execution backend every solver resolves 'auto' to: dense "
-              "(K, N) matrices, sparse CSR claims, or process "
-              "(shared-memory worker pool); results are bit-identical "
-              "(default: footprint recommendation)"),
+              "(K, N) matrices, sparse CSR claims, process "
+              "(shared-memory worker pool), or mmap (out-of-core "
+              "chunked execution); results are bit-identical (default: "
+              "footprint recommendation, mmap above the memory cap)"),
     )
     parser.add_argument(
         "--workers", type=int, default=None,

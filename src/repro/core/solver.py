@@ -23,7 +23,7 @@ import numpy as np
 
 from ..data.schema import PropertyKind
 from ..data.table import TruthTable
-from ..engine import BACKEND_NAMES, ProcessBackendError, make_backend
+from ..engine import BACKEND_NAMES, BackendExecutionError, make_backend
 from ..observability import iteration_record, run_finished, run_started
 from ..observability.profiling import Profiler, activate, span
 from ..observability.tracer import Tracer
@@ -63,14 +63,20 @@ class CRHConfig:
     backend:
         Execution backend: ``"dense"`` ((K, N) matrices), ``"sparse"``
         (CSR claims), ``"process"`` (sparse claims sharded across worker
-        processes over shared memory), or ``"auto"`` (footprint
-        recommendation; see :func:`repro.engine.make_backend`).  All
-        backends produce bit-identical results — this is a
-        memory/layout/parallelism choice.
+        processes over shared memory), ``"mmap"`` (out-of-core chunked
+        execution over memory-mapped claims), or ``"auto"`` (footprint
+        recommendation, escalated to mmap above the memory cap; see
+        :func:`repro.engine.make_backend`).  All backends produce
+        bit-identical results — this is a memory/layout/parallelism
+        choice.
     n_workers:
         Worker count for the process backend (``None`` — the session
         default from :func:`repro.engine.set_default_workers`, else the
         usable CPU count).  Ignored by the other backends.
+    chunk_claims:
+        Claims per chunk for the mmap backend (``None`` —
+        :data:`repro.data.chunks.DEFAULT_CHUNK_CLAIMS`).  Ignored by
+        the other backends.
     seed:
         Used only by the random initializer.
     """
@@ -89,6 +95,7 @@ class CRHConfig:
     property_scale: str = "none"
     backend: str = "auto"
     n_workers: int | None = None
+    chunk_claims: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -101,6 +108,8 @@ class CRHConfig:
             )
         if self.n_workers is not None and self.n_workers < 1:
             raise ValueError("n_workers must be >= 1 when given")
+        if self.chunk_claims is not None and self.chunk_claims < 1:
+            raise ValueError("chunk_claims must be >= 1 when given")
 
     def with_(self, **changes) -> "CRHConfig":
         """A copy of this config with the given fields replaced."""
@@ -138,11 +147,19 @@ class CRHSolver:
                 )
         return losses
 
-    def _initial_states(self, dataset,
-                        losses: list[Loss]) -> list[TruthState]:
+    def _initial_states(self, dataset, losses: list[Loss],
+                        backend=None) -> list[TruthState]:
         initializer = initializer_by_name(self.config.initializer)
-        if self.config.initializer == "random":
-            rng = np.random.default_rng(self.config.seed)
+        rng = (np.random.default_rng(self.config.seed)
+               if self.config.initializer == "random" else None)
+        # Backends that stream their claims (mmap) expose an
+        # ``initial_columns`` hook that runs the initializer chunk-wise
+        # — bit-identical to the full-array pass, without materializing
+        # every claim column at once.
+        hook = getattr(backend, "initial_columns", None)
+        if hook is not None:
+            columns = hook(initializer, rng=rng)
+        elif rng is not None:
             columns = initializer(dataset, rng=rng)
         else:
             columns = initializer(dataset)
@@ -177,15 +194,16 @@ class CRHSolver:
         unchanged and results are bit-identical.
 
         With ``backend="process"`` the truth and deviation passes run on
-        a shared-memory worker pool; any worker failure (and any loss
-        without a worker implementation) degrades the run to inline
-        sparse execution, recording the reason as ``backend_reason`` —
-        in ``run_start`` when degradation happens at setup, in
-        ``run_end`` when a worker dies mid-run.  A pool the solver
-        created itself is torn down in all cases (errors and
-        KeyboardInterrupt included); a caller-built
-        :class:`~repro.engine.ProcessBackend` keeps its pool warm for
-        the next run.
+        a shared-memory worker pool; with ``backend="mmap"`` they run
+        chunk-at-a-time over memory-mapped claims.  Any runner failure
+        (a dead worker, an unreadable chunk, a loss without a chunked /
+        worker implementation) degrades the run to inline sparse
+        execution, recording the reason as ``backend_reason`` — in
+        ``run_start`` when degradation happens at setup, in ``run_end``
+        when the runner fails mid-run.  A backend the solver created
+        itself is torn down in all cases (errors and KeyboardInterrupt
+        included); a caller-built :class:`~repro.engine.ProcessBackend`
+        keeps its pool warm for the next run.
         """
         started = time.perf_counter()
         config = self.config
@@ -200,30 +218,38 @@ class CRHSolver:
             with activate(prof):
                 with span(prof, "setup"):
                     backend = make_backend(source, config.backend,
-                                           n_workers=config.n_workers)
+                                           n_workers=config.n_workers,
+                                           chunk_claims=config.chunk_claims)
                     owns_backend = backend is not source
                     dataset = backend.data
                     options = config.deviation_options()
                     losses = self._losses_for(dataset)
-                    states = self._initial_states(dataset, losses)
-                    if getattr(backend, "supports_workers", False):
+                    states = self._initial_states(dataset, losses,
+                                                  backend=backend)
+                    if getattr(backend, "supports_runner", False):
                         try:
                             runner = backend.start_runner(losses,
                                                           profiler=prof)
                             runner.seed(states)
-                        except ProcessBackendError as error:
+                        except BackendExecutionError as error:
                             degraded_reason = (
-                                "process backend degraded to inline "
-                                f"sparse execution: {error}"
+                                f"{backend.name} backend degraded to "
+                                f"inline sparse execution: {error}"
                             )
                             runner = None
 
-                def degrade(error: ProcessBackendError) -> None:
+                def degrade(error: BackendExecutionError) -> None:
                     nonlocal runner, degraded_reason
-                    degraded_reason = (
-                        "process worker failed mid-run; finishing "
-                        f"inline on sparse claims: {error}"
-                    )
+                    if backend.name == "process":
+                        degraded_reason = (
+                            "process worker failed mid-run; finishing "
+                            f"inline on sparse claims: {error}"
+                        )
+                    else:
+                        degraded_reason = (
+                            f"{backend.name} backend failed mid-run; "
+                            f"finishing inline on sparse claims: {error}"
+                        )
                     runner = None
                     backend.close()
 
@@ -231,7 +257,7 @@ class CRHSolver:
                     if runner is not None:
                         try:
                             return runner.per_source(current, options)
-                        except ProcessBackendError as error:
+                        except BackendExecutionError as error:
                             degrade(error)
                     return per_source_deviations(dataset, losses,
                                                  current, options)
@@ -240,7 +266,7 @@ class CRHSolver:
                     if runner is not None:
                         try:
                             return runner.truth_step(weights)
-                        except ProcessBackendError as error:
+                        except BackendExecutionError as error:
                             degrade(error)
                     return [
                         loss.update_truth(prop, weights)
@@ -270,8 +296,8 @@ class CRHSolver:
                         backend=backend_name,
                         backend_reason=backend_reason,
                         n_claims=backend.n_claims(),
-                        n_workers=(runner.n_workers
-                                   if runner is not None else None),
+                        n_workers=getattr(runner, "n_workers", None),
+                        n_chunks=getattr(runner, "n_chunks", None),
                     ))
 
                 # The aggregate of iteration i's objective is exactly the
@@ -329,9 +355,9 @@ class CRHSolver:
                     if efficiency is not None:
                         extras["parallel_efficiency"] = float(efficiency)
                 elif (degraded_reason is not None
-                        and backend_name == "process"):
+                        and backend_name != "sparse"):
                     # Mid-run degradation: run_start advertised the
-                    # process backend, so the correction lands here.
+                    # process/mmap backend, so the correction lands here.
                     extras["backend"] = "sparse"
                     extras["backend_reason"] = degraded_reason
                 tracer.emit(run_finished(

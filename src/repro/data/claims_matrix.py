@@ -297,6 +297,12 @@ class ClaimsMatrix:
     cells.
     """
 
+    #: why ``load_dataset(..., mmap=True)`` could not memory-map this
+    #: matrix's claim arrays (``None``: not requested, or mapping
+    #: succeeded).  The mmap backend refuses to chunk a matrix carrying
+    #: a reason here and degrades to inline sparse execution instead.
+    mmap_fallback_reason: str | None = None
+
     def __init__(
         self,
         schema: DatasetSchema,
@@ -482,6 +488,7 @@ def claims_from_arrays(
     columns: Mapping[str, tuple[np.ndarray, np.ndarray, np.ndarray]],
     codecs: Mapping[str, CategoricalCodec] | None = None,
     object_timestamps: np.ndarray | None = None,
+    assume_canonical: bool = False,
 ) -> ClaimsMatrix:
     """Build a :class:`ClaimsMatrix` from raw per-property claim triples.
 
@@ -489,6 +496,12 @@ def claims_from_arrays(
     object_idx)`` arrays (values already encoded for codec-backed
     properties).  This is the zero-copy-ish entry point for synthetic
     workloads that should never materialize a dense matrix.
+
+    ``assume_canonical=True`` skips the canonical object-major sort —
+    for inputs that are *already* in claim-view order, like arrays
+    written by :func:`repro.data.io.save_dataset` (and, crucially, the
+    memmaps ``load_dataset(mmap=True)`` opens, which must never be
+    permuted into an O(claims) RAM allocation).
     """
     codecs = dict(codecs or {})
     properties = []
@@ -502,6 +515,7 @@ def claims_from_arrays(
             n_objects=len(object_ids),
             n_sources=len(source_ids),
             codec=codecs.get(prop.name),
+            canonicalize=not assume_canonical,
         ))
     return ClaimsMatrix(
         schema=schema,

@@ -107,10 +107,14 @@ def _read_records_sparse(path: Path, schema: DatasetSchema):
     """Stream a record CSV into a ClaimsMatrix via claims_from_arrays."""
     from .claims_matrix import claims_from_arrays
 
-    if any(p.kind is PropertyKind.TEXT for p in schema):
+    text = [p.name for p in schema if p.kind is PropertyKind.TEXT]
+    if text:
         raise ValueError(
-            "sparse record ingestion supports categorical/continuous "
-            "properties only (the claims matrix has no text storage)"
+            f"sparse record ingestion supports categorical/continuous "
+            f"properties only, but {'properties' if len(text) > 1 else 'property'} "
+            f"{', '.join(repr(n) for n in text)} "
+            f"{'are' if len(text) > 1 else 'is'} text (the claims matrix "
+            f"has no text storage; use read_records_csv(sparse=False))"
         )
     codecs: dict[str, CategoricalCodec] = {}
     for prop in schema:
@@ -273,7 +277,8 @@ def _plain(value):
     return value.item() if isinstance(value, np.generic) else value
 
 
-def save_dataset(dataset, directory: str | Path) -> None:
+def save_dataset(dataset, directory: str | Path, *,
+                 compressed: bool = False) -> None:
     """Save a dataset under ``directory``.
 
     Dense :class:`~repro.data.table.MultiSourceDataset` inputs write
@@ -283,6 +288,12 @@ def save_dataset(dataset, directory: str | Path) -> None:
     per-property claim triples) + ``dataset.json`` (source/object ids,
     codec labels, timestamps presence) — so saving is O(claims) in time
     and space and never materializes a ``(K, N)`` matrix.
+
+    ``claims.npz`` is written *uncompressed* by default: stored (not
+    deflated) zip members can be opened as NumPy memmaps, which is what
+    ``load_dataset(..., mmap=True)`` and the out-of-core ``"mmap"``
+    backend rely on.  Pass ``compressed=True`` to trade mmap-ability
+    for a smaller file (such archives always load eagerly).
     """
     from .claims_matrix import ClaimsMatrix
 
@@ -300,7 +311,8 @@ def save_dataset(dataset, directory: str | Path) -> None:
         arrays[f"p{index}_object_idx"] = view.object_idx
     if dataset.object_timestamps is not None:
         arrays["object_timestamps"] = dataset.object_timestamps
-    np.savez_compressed(directory / "claims.npz", **arrays)
+    saver = np.savez_compressed if compressed else np.savez
+    saver(directory / "claims.npz", **arrays)
     meta = {
         "source_ids": [_plain(s) for s in dataset.source_ids],
         "object_ids": [_plain(o) for o in dataset.object_ids],
@@ -312,7 +324,109 @@ def save_dataset(dataset, directory: str | Path) -> None:
     (directory / "dataset.json").write_text(json.dumps(meta, indent=2))
 
 
-def load_dataset(directory: str | Path):
+def npz_member_memmaps(path: str | Path) -> dict[str, np.ndarray]:
+    """Open every array of an *uncompressed* ``.npz`` as a ``np.memmap``.
+
+    ``np.savez`` stores each array as a ``ZIP_STORED`` (not deflated)
+    ``.npy`` member, so the raw array bytes sit contiguously in the
+    file at a computable offset: zip local header (30 bytes + name +
+    extra field) followed by the npy header (magic, version, header
+    text).  This function parses both headers and maps each member
+    read-only at its data offset — no array is ever materialized.
+
+    Raises ``ValueError`` when the archive cannot be mapped: a
+    compressed (``savez_compressed``/legacy) member, a truncated or
+    corrupt file, or an npy member whose dtype needs pickling.  The
+    message names the offending member so fault reports are actionable.
+    """
+    import struct
+    import zipfile
+
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    file_size = path.stat().st_size
+    try:
+        with zipfile.ZipFile(path) as archive, path.open("rb") as handle:
+            for info in archive.infolist():
+                member = info.filename
+                name = member[:-4] if member.endswith(".npy") else member
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise ValueError(
+                        f"{path.name}: member {member!r} is compressed "
+                        f"(deflated); only uncompressed archives "
+                        f"(np.savez / save_dataset(compressed=False)) "
+                        f"can be memory-mapped"
+                    )
+                # The local header's name/extra lengths can differ from
+                # the central directory's, so read them from the file.
+                handle.seek(info.header_offset)
+                local = handle.read(30)
+                if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                    raise ValueError(
+                        f"{path.name}: member {member!r} has a corrupt "
+                        f"local file header"
+                    )
+                name_len, extra_len = struct.unpack("<HH", local[26:30])
+                handle.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = \
+                        np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    shape, fortran, dtype = \
+                        np.lib.format.read_array_header_2_0(handle)
+                else:
+                    raise ValueError(
+                        f"{path.name}: member {member!r} uses npy format "
+                        f"{version}, which this reader does not map"
+                    )
+                if dtype.hasobject:
+                    raise ValueError(
+                        f"{path.name}: member {member!r} holds python "
+                        f"objects and cannot be memory-mapped"
+                    )
+                offset = handle.tell()
+                nbytes = int(dtype.itemsize
+                             * int(np.prod(shape, dtype=np.int64)))
+                if offset + nbytes > file_size:
+                    raise ValueError(
+                        f"{path.name}: member {member!r} is truncated "
+                        f"({nbytes} data bytes claimed at offset "
+                        f"{offset}, file is {file_size} bytes)"
+                    )
+                arrays[name] = np.memmap(
+                    path, dtype=dtype, mode="r", offset=offset,
+                    shape=shape, order="F" if fortran else "C",
+                )
+    except (zipfile.BadZipFile, struct.error, OSError, EOFError,
+            KeyError) as error:
+        raise ValueError(
+            f"{path.name}: corrupt or unreadable npz archive: {error}"
+        ) from error
+    return arrays
+
+
+def _claims_columns(schema: DatasetSchema, bundle, files) -> tuple:
+    """Per-property claim triples (+ timestamps) out of an npz mapping."""
+    columns = {}
+    for index, prop in enumerate(schema):
+        key = f"p{index}_values"
+        if key not in files:
+            raise ValueError(
+                f"claims.npz lacks member {key!r} for property "
+                f"{prop.name!r} (schema/archive mismatch)"
+            )
+        columns[prop.name] = (
+            bundle[key],
+            bundle[f"p{index}_source_idx"],
+            bundle[f"p{index}_object_idx"],
+        )
+    object_timestamps = (bundle["object_timestamps"]
+                         if "object_timestamps" in files else None)
+    return columns, object_timestamps
+
+
+def load_dataset(directory: str | Path, *, mmap: bool = False):
     """Load a dataset saved by :func:`save_dataset`.
 
     Directories holding ``claims.npz`` load back as a
@@ -320,6 +434,19 @@ def load_dataset(directory: str | Path):
     :func:`~repro.data.claims_matrix.claims_from_arrays`, without any
     dense allocation); record-CSV directories load as a dense
     :class:`~repro.data.table.MultiSourceDataset` as before.
+
+    With ``mmap=True`` the claim arrays are opened as read-only NumPy
+    memmaps over the npz members (:func:`npz_member_memmaps`) instead
+    of being read into RAM — the entry point of the out-of-core
+    ``"mmap"`` backend, which streams them chunk-at-a-time.  Saved
+    claim arrays are already in canonical object-major order (they come
+    from ``claim_view()``), so no sort — and no O(claims) allocation —
+    happens; only the O(n_objects) CSR row pointer is built.  When the
+    archive cannot be mapped (a legacy ``savez_compressed`` file) but
+    still loads eagerly, the returned matrix carries the cause in
+    ``mmap_fallback_reason`` and the mmap backend degrades to inline
+    sparse execution with that reason traced; archives that cannot be
+    read at all raise the mapper's ``ValueError``.
     """
     from .claims_matrix import claims_from_arrays
 
@@ -335,18 +462,40 @@ def load_dataset(directory: str | Path):
         )
         for name, labels in meta.get("codecs", {}).items()
     }
-    with np.load(claims_path) as bundle:
-        columns = {}
-        for index, prop in enumerate(schema):
-            columns[prop.name] = (
-                bundle[f"p{index}_values"],
-                bundle[f"p{index}_source_idx"],
-                bundle[f"p{index}_object_idx"],
+    fallback_reason: str | None = None
+    if mmap:
+        try:
+            mapped = npz_member_memmaps(claims_path)
+            columns, object_timestamps = _claims_columns(
+                schema, mapped, frozenset(mapped)
             )
-        object_timestamps = (bundle["object_timestamps"]
-                             if "object_timestamps" in bundle.files
-                             else None)
-    return claims_from_arrays(
+        except ValueError as error:
+            fallback_reason = str(error)
+        else:
+            matrix = claims_from_arrays(
+                schema, meta["source_ids"], meta["object_ids"], columns,
+                codecs=codecs, object_timestamps=object_timestamps,
+                assume_canonical=True,
+            )
+            matrix.mmap_fallback_reason = None
+            return matrix
+    try:
+        with np.load(claims_path) as bundle:
+            columns, object_timestamps = _claims_columns(
+                schema, bundle, frozenset(bundle.files)
+            )
+            if object_timestamps is not None:
+                object_timestamps = np.asarray(object_timestamps)
+    except Exception as error:
+        if fallback_reason is not None:
+            # Neither mappable nor eagerly loadable: surface the
+            # mapper's diagnosis (it names the offending member).
+            raise ValueError(fallback_reason) from error
+        raise
+    matrix = claims_from_arrays(
         schema, meta["source_ids"], meta["object_ids"], columns,
         codecs=codecs, object_timestamps=object_timestamps,
     )
+    if mmap:
+        matrix.mmap_fallback_reason = fallback_reason
+    return matrix

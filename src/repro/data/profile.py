@@ -168,7 +168,9 @@ def format_bytes(n: int) -> str:
     return f"{size:.1f} GiB"  # pragma: no cover - unreachable
 
 
-def recommended_backend(dataset) -> tuple[str, str]:
+def recommended_backend(dataset,
+                        memory_cap_bytes: int | None = None,
+                        ) -> tuple[str, str]:
     """Pick the execution backend a dataset's footprint favors.
 
     The ``backend="auto"`` resolution policy of
@@ -178,6 +180,12 @@ def recommended_backend(dataset) -> tuple[str, str]:
     full conflict profile, so it is cheap enough to run on every solver
     call.  Returns ``(name, reason)`` where ``reason`` is a
     human-readable justification recorded in ``run_start`` traces.
+
+    ``memory_cap_bytes`` optionally bounds how much claim storage an
+    in-RAM backend may project: when even the *smaller* of the two
+    projections exceeds the cap, the recommendation escalates to the
+    out-of-core ``"mmap"`` backend (see :mod:`repro.engine.mmap`),
+    which keeps only one claim chunk resident.
     """
     dense = sum(p.dense_nbytes() for p in dataset.properties)
     sparse = sum(p.sparse_nbytes() for p in dataset.properties)
@@ -186,6 +194,11 @@ def recommended_backend(dataset) -> tuple[str, str]:
         f"footprint recommendation: dense {format_bytes(dense)} vs "
         f"sparse {format_bytes(sparse)}"
     )
+    if memory_cap_bytes is not None and min(dense, sparse) > memory_cap_bytes:
+        return "mmap", (
+            f"{reason}; both exceed the "
+            f"{format_bytes(memory_cap_bytes)} memory cap -> mmap"
+        )
     return name, reason
 
 

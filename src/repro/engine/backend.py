@@ -15,19 +15,24 @@ are stored as:
 * :class:`~repro.engine.process.ProcessBackend` — sparse claim storage
   sharded across worker processes over shared memory, for true parallel
   CRH on multi-core machines (see :mod:`repro.engine.process`).
+* :class:`~repro.engine.mmap.MmapBackend` — out-of-core execution over
+  memory-mapped CSR chunks, for claim sets larger than RAM (see
+  :mod:`repro.engine.mmap`).
 
 All backends feed kernels the identical canonically-ordered claim view,
 so results are bit-identical — the choice is purely a
 memory/layout/parallelism trade-off.  :func:`make_backend` resolves a
 dataset plus a ``backend`` name (``"auto"``, ``"dense"``, ``"sparse"``,
-``"process"``) into a backend, converting the representation when the
-request disagrees with the input (and saying so in the backend's
-``resolution`` string).  ``"auto"`` follows the session default when one
-was set, and otherwise the footprint recommendation of
-:func:`repro.data.profile.recommended_backend` — whichever
-representation is projected smaller — upgraded to the process backend
-for large sparse workloads when more than one CPU is usable; the
-module-level default (:func:`set_default_backend` /
+``"process"``, ``"mmap"``) into a backend, converting the
+representation when the request disagrees with the input (and saying so
+in the backend's ``resolution`` string).  ``"auto"`` follows the
+session default when one was set, and otherwise the footprint
+recommendation of :func:`repro.data.profile.recommended_backend` —
+whichever representation is projected smaller, escalated to the
+out-of-core mmap backend when even that projection exceeds the memory
+cap (:func:`repro.engine.mmap.resolved_memory_cap`), and upgraded to
+the process backend for large sparse workloads when more than one CPU
+is usable; the module-level default (:func:`set_default_backend` /
 :func:`use_default_backend`) lets harnesses and the CLI steer every
 ``"auto"`` resolution without threading a parameter through each call.
 """
@@ -42,12 +47,27 @@ from ..data.profile import recommended_backend
 from ..data.table import MultiSourceDataset
 
 #: valid backend selector names
-BACKEND_NAMES = ("auto", "dense", "sparse", "process")
+BACKEND_NAMES = ("auto", "dense", "sparse", "process", "mmap")
 
-#: what each backend stores its claims as — the process backend keeps
-#: the sparse representation (its shared segments are internal), so
-#: conversion notes in resolution strings track these, not class names.
-_STORAGE = {"dense": "dense", "sparse": "sparse", "process": "sparse"}
+#: what each backend stores its claims as — the process and mmap
+#: backends keep the sparse representation (shared segments and chunk
+#: streaming are internal), so conversion notes in resolution strings
+#: track these, not class names.
+_STORAGE = {"dense": "dense", "sparse": "sparse", "process": "sparse",
+            "mmap": "sparse"}
+
+
+class BackendExecutionError(RuntimeError):
+    """Base of backend runner failures the solver degrades on.
+
+    Raised (via its subclasses
+    :class:`~repro.engine.process.ProcessBackendError` and
+    :class:`~repro.engine.mmap.MmapBackendError`) when a backend with a
+    ``start_runner`` protocol cannot set up or fails mid-run; the
+    solver catches it, closes the backend, and finishes the run inline
+    on the sparse claim storage with the reason traced as
+    ``backend_reason``.
+    """
 
 
 @runtime_checkable
@@ -192,7 +212,8 @@ def use_default_backend(name: str) -> Iterator[None]:
 
 
 def make_backend(data, backend: str = "auto", *,
-                 n_workers: int | None = None) -> _BackendBase:
+                 n_workers: int | None = None,
+                 chunk_claims: int | None = None) -> _BackendBase:
     """Resolve a dataset (or backend) plus a selector into a backend.
 
     ``backend="auto"`` follows the session default when one was set
@@ -200,13 +221,16 @@ def make_backend(data, backend: str = "auto", *,
     recommendation* of :func:`repro.data.profile.recommended_backend`:
     whichever representation is projected smaller wins, regardless of
     how the input happens to be stored — a dense panel at low claim
-    density runs sparse, a near-dense claims matrix runs dense.  A
-    sparse recommendation is upgraded to the process backend when the
-    claim count clears
+    density runs sparse, a near-dense claims matrix runs dense.  When
+    even the smaller projection exceeds the memory cap
+    (:func:`repro.engine.mmap.resolved_memory_cap`), the
+    recommendation escalates to the out-of-core ``mmap`` backend
+    instead.  A sparse recommendation is upgraded to the process
+    backend when the claim count clears
     :data:`repro.engine.process.PROCESS_AUTO_CLAIM_THRESHOLD` and more
     than one CPU is usable.  Explicit ``"dense"``/``"sparse"``/
-    ``"process"`` convert the representation when needed.  An
-    already-built backend passes through (or converts, when the
+    ``"process"``/``"mmap"`` convert the representation when needed.
+    An already-built backend passes through (or converts, when the
     explicit selector disagrees with it).
 
     The returned backend carries a ``resolution`` string explaining the
@@ -216,9 +240,11 @@ def make_backend(data, backend: str = "auto", *,
     already-built backends alike — the resolution ends with
     ``" (converted from {dense|sparse})"``.
 
-    ``n_workers`` is forwarded to :class:`ProcessBackend` when the
-    resolution lands there (ignored otherwise).
+    ``n_workers`` is forwarded to :class:`ProcessBackend` and
+    ``chunk_claims`` to :class:`~repro.engine.mmap.MmapBackend` when
+    the resolution lands there (ignored otherwise).
     """
+    from .mmap import MmapBackend, resolved_memory_cap
     from .process import (
         PROCESS_AUTO_CLAIM_THRESHOLD,
         ProcessBackend,
@@ -247,7 +273,9 @@ def make_backend(data, backend: str = "auto", *,
         source_storage = "dense"
     if backend == "auto":
         try:
-            backend, reason = recommended_backend(data)
+            backend, reason = recommended_backend(
+                data, memory_cap_bytes=resolved_memory_cap()
+            )
         except (AttributeError, TypeError):
             # Dataset-shaped objects without footprint projections fall
             # back to the input's own representation.
@@ -271,6 +299,8 @@ def make_backend(data, backend: str = "auto", *,
                     )
     if backend == "process":
         built: _BackendBase = ProcessBackend(data, n_workers=n_workers)
+    elif backend == "mmap":
+        built = MmapBackend(data, chunk_claims=chunk_claims)
     elif backend == "sparse":
         built = SparseBackend(data)
     else:

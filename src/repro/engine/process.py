@@ -54,7 +54,7 @@ import numpy as np
 from ..data.claims_matrix import ClaimsMatrix, ClaimView
 from ..data.table import MultiSourceDataset
 from ..mapreduce.partitioner import range_partition
-from .backend import _BackendBase
+from .backend import BackendExecutionError, _BackendBase
 
 #: loss registry names whose truth/deviation steps workers evaluate;
 #: anything else (text medoid, custom dense-only losses) runs inline.
@@ -70,7 +70,7 @@ WORKER_LOSSES = frozenset({"zero_one", "probability", "squared",
 PROCESS_AUTO_CLAIM_THRESHOLD = 200_000
 
 
-class ProcessBackendError(RuntimeError):
+class ProcessBackendError(BackendExecutionError):
     """A process-backend worker, pool or setup failure.
 
     The solver treats this as a degradation signal, not a fatal error:
@@ -590,6 +590,8 @@ class ProcessBackend(_BackendBase):
 
     name = "process"
     #: marks backends whose :meth:`start_runner` the solver should use
+    supports_runner = True
+    #: legacy alias of :attr:`supports_runner` (pre-mmap name)
     supports_workers = True
 
     def __init__(self, data, n_workers: int | None = None,

@@ -39,21 +39,27 @@ METRIC_FIELDS: dict[str, str] = {
     "n_objects": "number of objects N in the traced dataset",
     "n_properties": "number of properties M in the traced dataset",
     "backend": "execution backend the run used: dense ((K, N) matrices), "
-               "sparse (CSR-by-object claims), or process (sparse claims "
-               "sharded across shared-memory worker processes); on "
-               "run_end it appears only when a mid-run worker failure "
-               "degraded the run, naming the backend that finished it",
+               "sparse (CSR-by-object claims), process (sparse claims "
+               "sharded across shared-memory worker processes), or mmap "
+               "(out-of-core chunked execution over memory-mapped "
+               "claims); on run_end it appears only when a mid-run "
+               "runner failure degraded the run, naming the backend "
+               "that finished it",
     "backend_reason": "why the run resolved to its backend: an explicit "
                       "request, the session default, or the footprint "
-                      "recommendation of repro.data.profile — with "
+                      "recommendation of repro.data.profile (escalated "
+                      "to mmap above the memory cap) — with "
                       "' (converted from dense|sparse)' appended when "
                       "the input representation was converted, or the "
-                      "degradation cause when a process run fell back "
-                      "to inline sparse execution",
+                      "degradation cause when a process/mmap run fell "
+                      "back to inline sparse execution",
     "n_claims": "number of stored claims (observed cells) across all "
                 "properties of the traced dataset",
     "n_workers": "worker process count of the process backend's pool "
                  "(absent for in-process backends)",
+    "n_chunks": "claim chunks per truth-step sweep of the mmap "
+                "backend's largest property (absent for non-chunked "
+                "backends)",
     "parallel_efficiency": "busy fraction of the process backend's pool: "
                            "sum of worker busy seconds / (n_workers x "
                            "parallel round wall seconds); 1.0 would be "
@@ -153,21 +159,25 @@ def run_started(method: str, *, n_sources: int | None = None,
                 backend: str | None = None,
                 backend_reason: str | None = None,
                 n_claims: int | None = None,
-                n_workers: int | None = None) -> dict:
+                n_workers: int | None = None,
+                n_chunks: int | None = None) -> dict:
     """A ``run_start`` record: method name plus dataset shape.
 
     ``backend`` tags which execution backend the engine resolved
-    (dense/sparse/process) and ``n_claims`` how many claims it holds —
-    the pair that explains a run's memory footprint; ``backend_reason``
-    records *why* the resolution landed there (explicit request, session
-    default, or the footprint recommendation).  ``n_workers`` is the
-    process backend's pool size (absent for in-process backends).
+    (dense/sparse/process/mmap) and ``n_claims`` how many claims it
+    holds — the pair that explains a run's memory footprint;
+    ``backend_reason`` records *why* the resolution landed there
+    (explicit request, session default, or the footprint
+    recommendation).  ``n_workers`` is the process backend's pool size
+    and ``n_chunks`` the mmap backend's chunks-per-sweep (each absent
+    for the other backends).
     """
     return _record("run_start", method=method, n_sources=n_sources,
                    n_objects=n_objects, n_properties=n_properties,
                    backend=backend, backend_reason=backend_reason,
                    n_claims=None if n_claims is None else int(n_claims),
-                   n_workers=None if n_workers is None else int(n_workers))
+                   n_workers=None if n_workers is None else int(n_workers),
+                   n_chunks=None if n_chunks is None else int(n_chunks))
 
 
 def profile_record(*, phase: str | None = None, kernel: str | None = None,

@@ -18,7 +18,9 @@ from repro.engine import (
     ProcessBackend,
     SparseBackend,
     make_backend,
+    set_memory_cap,
     use_default_backend,
+    use_memory_cap,
 )
 from repro.engine import process as process_mod
 
@@ -56,6 +58,18 @@ class TestExplicitRequests:
         built = make_backend(sparse_dataset, "process")
         assert built.resolution == "explicit 'process' request"
         assert built.data is sparse_dataset
+
+    def test_mmap_keeps_sparse_storage(self, sparse_dataset):
+        # The mmap backend also runs on CSR claim storage: sparse input
+        # needs no conversion, dense input notes one.
+        built = make_backend(sparse_dataset, "mmap")
+        assert built.resolution == "explicit 'mmap' request"
+        assert built.data is sparse_dataset
+
+    def test_mmap_from_dense_notes_conversion(self, dense_dataset):
+        built = make_backend(dense_dataset, "mmap")
+        assert built.resolution == \
+            "explicit 'mmap' request (converted from dense)"
 
 
 class TestBuiltBackendInputs:
@@ -148,6 +162,36 @@ class TestAutoUpgrade:
                             claims.n_observations() + 1)
         built = make_backend(claims, "auto")
         assert built.name == "sparse"
+
+
+class TestMemoryCapEscalation:
+    def test_tiny_cap_escalates_auto_to_mmap(self, sparse_dataset):
+        with use_memory_cap(1):
+            built = make_backend(sparse_dataset, "auto")
+        assert built.name == "mmap"
+        assert built.resolution.startswith("footprint recommendation:")
+        assert "memory cap -> mmap" in built.resolution
+
+    def test_huge_cap_never_escalates(self, sparse_dataset):
+        with use_memory_cap(2**40):
+            built = make_backend(sparse_dataset, "auto")
+        assert built.name in ("dense", "sparse")
+        assert "mmap" not in built.resolution
+
+    def test_cap_escalation_beats_process_upgrade(self, monkeypatch):
+        # Above the cap, out-of-core wins over the worker-pool upgrade
+        # even when the claim count clears the process threshold.
+        claims = _large_sparse_claims()
+        monkeypatch.setattr(process_mod, "available_workers", lambda: 4)
+        monkeypatch.setattr(process_mod, "PROCESS_AUTO_CLAIM_THRESHOLD", 1)
+        with use_memory_cap(1):
+            built = make_backend(claims, "auto")
+        assert built.name == "mmap"
+        assert "memory cap -> mmap" in built.resolution
+
+    def test_set_memory_cap_validates(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            set_memory_cap(0)
 
 
 class TestWorkerDefaults:

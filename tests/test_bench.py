@@ -42,6 +42,7 @@ class TestSuite:
             "backend/process-w1",
             "backend/process-w2",
             "backend/process-w4",
+            "backend/mmap",
             "fig7/scaling_point",
             "streaming/icrh_chunks",
         ]
@@ -51,7 +52,7 @@ class TestSuite:
             ["backend/dense"]
         assert [c.name for c in cases_by_name(["backend/"])] == \
             ["backend/dense", "backend/sparse", "backend/process-w1",
-             "backend/process-w2", "backend/process-w4"]
+             "backend/process-w2", "backend/process-w4", "backend/mmap"]
 
     def test_cases_by_name_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown bench case"):

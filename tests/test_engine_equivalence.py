@@ -1,20 +1,25 @@
-"""Dense/sparse backend equivalence fuzz suite.
+"""Backend equivalence fuzz suite: dense, sparse, process and mmap.
 
 The ISSUE's central invariant: the execution backend is a memory/layout
 choice, never a numerical one.  Every engine (batch solver, MapReduce,
 streaming) must produce **bit-identical** truths, weights and objective
-history on the dense and sparse backends, across loss configurations,
-on adversarial inputs (varying sparsity, value ties, all-missing
-sources and objects).
+history on every execution backend — dense, sparse CSR, the
+shared-memory process pool, and the out-of-core mmap chunker — across
+loss configurations, chunk sizes, and adversarial inputs (varying
+sparsity, value ties, all-missing sources and objects).  A hypothesis
+fuzz at the bottom drives all four backends over random datasets and
+chunk sizes in one property.
 
-The slow test at the bottom asserts the memory win the sparse backend
-exists for: >= 5x lower peak footprint on a 5%-density workload.
+The slow test asserts the memory win the sparse backend exists for:
+>= 5x lower peak footprint on a 5%-density workload.
 """
 
 import tracemalloc
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.solver import CRHConfig, CRHSolver, crh
 from repro.data import (
@@ -341,3 +346,89 @@ class TestProcessEquivalence:
         (end,) = [r for r in tracer.records if r["event"] == "run_end"]
         assert start["n_workers"] >= 1
         assert 0.0 <= end["parallel_efficiency"] <= 1.0
+
+
+def _assert_results_identical(reference, other):
+    """Truths, weights, objective trace and iteration count, bitwise."""
+    _assert_truths_equal(reference.truths, other.truths)
+    assert np.array_equal(reference.weights, other.weights)
+    assert reference.objective_history == other.objective_history
+    assert reference.iterations == other.iterations
+
+
+class TestMmapEquivalence:
+    """The out-of-core chunker is a layout choice, never a numerical one."""
+
+    @pytest.mark.parametrize("seed", range(2))
+    @pytest.mark.parametrize("cat_loss,cont_loss", LOSS_CONFIGS)
+    def test_three_way_bit_identical(self, seed, cat_loss, cont_loss):
+        dataset = _fuzz_dataset(seed + 80)
+        results = {
+            name: crh(dataset, categorical_loss=cat_loss,
+                      continuous_loss=cont_loss, backend=name,
+                      max_iterations=12)
+            for name in ("dense", "sparse", "mmap")
+        }
+        for name in ("sparse", "mmap"):
+            _assert_results_identical(results["dense"], results[name])
+
+    @pytest.mark.parametrize("chunk_claims", [1, 7, 100_000])
+    def test_chunk_size_never_changes_bits(self, chunk_claims):
+        """chunk=1 (one claim resident at a time) through chunk >= all
+        claims (a single chunk) must all match the sparse reference."""
+        dataset = _fuzz_dataset(83)
+        reference = crh(dataset, backend="sparse", max_iterations=10)
+        chunked = crh(dataset, backend="mmap", chunk_claims=chunk_claims,
+                      max_iterations=10)
+        _assert_results_identical(reference, chunked)
+
+    def test_disk_memmaps_end_to_end(self, tmp_path):
+        """Save, reload memory-mapped, run out-of-core: same bits."""
+        from repro.data.io import load_dataset, save_dataset
+
+        dataset = _fuzz_dataset(84)
+        reference = crh(dataset, backend="dense", max_iterations=10)
+        save_dataset(ClaimsMatrix.from_dense(dataset), tmp_path)
+        mapped = load_dataset(tmp_path, mmap=True)
+        assert mapped.mmap_fallback_reason is None
+        result = crh(mapped, backend="mmap", chunk_claims=13,
+                     max_iterations=10)
+        _assert_results_identical(reference, result)
+
+    def test_random_initializer_bit_identical(self):
+        """The chunked initializer hook must consume the seeded
+        generator in canonical claim order."""
+        dataset = _fuzz_dataset(85)
+        reference = crh(dataset, backend="sparse", initializer="random",
+                        seed=7, max_iterations=8)
+        chunked = crh(dataset, backend="mmap", chunk_claims=5,
+                      initializer="random", seed=7, max_iterations=8)
+        _assert_results_identical(reference, chunked)
+
+
+class TestBackendFuzz:
+    """Hypothesis property: all four backends agree bitwise, always."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        density=st.floats(0.15, 0.7),
+        chunk_claims=st.sampled_from([1, 2, 3, 7, 10_000]),
+        losses=st.sampled_from(LOSS_CONFIGS),
+    )
+    def test_four_way_bit_identity(self, seed, density, chunk_claims,
+                                   losses):
+        cat_loss, cont_loss = losses
+        dataset = _fuzz_dataset(seed, k=5, n=18, density=density)
+        kwargs = dict(categorical_loss=cat_loss,
+                      continuous_loss=cont_loss, max_iterations=8)
+        reference = crh(dataset, backend="dense", **kwargs)
+        others = {
+            "sparse": crh(dataset, backend="sparse", **kwargs),
+            "mmap": crh(dataset, backend="mmap",
+                        chunk_claims=chunk_claims, **kwargs),
+            "process": crh(dataset, backend="process", n_workers=2,
+                           **kwargs),
+        }
+        for result in others.values():
+            _assert_results_identical(reference, result)

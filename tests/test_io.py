@@ -190,3 +190,38 @@ class TestSparseIO:
         )
         with pytest.raises(ValueError, match="text"):
             read_records_csv(path, schema, sparse=True)
+
+    def test_sparse_csv_text_rejection_names_property(self, tmp_path):
+        """Regression: the error must say *which* property is text, not
+        just that one exists — mixed schemas made the bare message
+        unactionable."""
+        from repro.data import DatasetSchema, continuous
+        from repro.data.schema import text
+
+        schema = DatasetSchema.of(
+            continuous("temp"), text("notes"), text("remarks")
+        )
+        path = tmp_path / "mixed.csv"
+        path.write_text(
+            "object_id,source_id,property,value\no1,s1,temp,1.0\n"
+        )
+        with pytest.raises(ValueError, match="'notes'") as excinfo:
+            read_records_csv(path, schema, sparse=True)
+        message = str(excinfo.value)
+        assert "'remarks'" in message
+        assert "'temp'" not in message
+        assert "sparse=False" in message
+
+    def test_compressed_save_roundtrips_eagerly(self, small_weather,
+                                                tmp_path):
+        from repro.data import ClaimsMatrix
+
+        claims = ClaimsMatrix.from_dense(small_weather.dataset)
+        directory = tmp_path / "compressed-bundle"
+        save_dataset(claims, directory, compressed=True)
+        loaded = load_dataset(directory)
+        for mine, theirs in zip(claims.properties, loaded.properties):
+            a, b = mine.claim_view(), theirs.claim_view()
+            assert np.array_equal(a.values, b.values)
+            assert np.array_equal(a.source_idx, b.source_idx)
+            assert np.array_equal(a.indptr, b.indptr)

@@ -1,0 +1,139 @@
+"""Baseline resolvers on execution backends: CI smoke checks.
+
+Every resolver in ``repro.baselines`` takes the solver's backend knobs
+(``backend`` / ``n_workers`` / ``chunk_claims``).  This script fits two
+representative resolvers on a chosen backend —
+
+* ``CATD``, whose truth and weight steps run natively through the
+  runner protocol (worker pool / chunked out-of-core execution), and
+* ``TruthFinder``, a fact-graph method that degrades — traced — to
+  inline sparse execution when ``process``/``mmap`` is requested —
+
+and asserts both produce truths and weights bit-identical to plain
+sparse execution, plus the correct ``backend``/``backend_reason``
+stamps.  See ``docs/RESOLVERS.md`` for the full support matrix.
+
+Runs two ways:
+
+* under pytest-benchmark with the rest of the suite
+  (``pytest benchmarks/bench_baseline_backends.py``), or
+* as a plain script for CI smoke checks::
+
+      REPRO_BENCH_SMOKE=1 python benchmarks/bench_baseline_backends.py \
+          --backend process --workers 2
+
+``REPRO_BENCH_SMOKE=1`` shrinks the object count so the script
+finishes in seconds.
+"""
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from repro.baselines import resolver_by_name
+from repro.data import DatasetSchema, claims_from_arrays, continuous
+
+N_SOURCES = 20
+DENSITY = 0.05
+#: the two resolvers exercised: one kernel-native, one fact-graph
+RESOLVERS = ("CATD", "TruthFinder")
+#: resolvers whose truth/weight steps run the runner protocol natively
+KERNEL_NATIVE = frozenset({"CRH", "Mean", "Median", "Voting", "CATD"})
+
+
+def _smoke() -> bool:
+    """True when CI asked for the shrunken smoke-mode workload."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _n_objects() -> int:
+    """Workload size: 20k objects at full scale, 2k in smoke mode."""
+    return 2_000 if _smoke() else 20_000
+
+
+def build_workload(seed: int = 0):
+    """Synthesize a 5%-density continuous claims matrix."""
+    rng = np.random.default_rng(seed)
+    k, n = N_SOURCES, _n_objects()
+    schema = DatasetSchema.of(continuous("p0"), continuous("p1"))
+    target = int(k * n * DENSITY)
+    columns = {}
+    for m, name in enumerate(schema.names()):
+        cells = np.unique(
+            rng.integers(0, k * n, int(target * 1.2), dtype=np.int64)
+        )[:target]
+        columns[name] = (
+            rng.normal(float(m), 1.0, len(cells)),
+            (cells // n).astype(np.int32),
+            (cells % n).astype(np.int32),
+        )
+    return claims_from_arrays(
+        schema,
+        source_ids=[f"s{i}" for i in range(k)],
+        object_ids=np.arange(n),
+        columns=columns,
+    )
+
+
+def _assert_identical(reference, other) -> None:
+    for col_a, col_b in zip(reference.truths.columns, other.truths.columns):
+        np.testing.assert_array_equal(col_a, col_b)
+    np.testing.assert_array_equal(reference.weights, other.weights)
+
+
+def _check_stamp(name: str, backend: str, result) -> str:
+    """Verify the result's backend stamp; return a printable note."""
+    if backend in ("process", "mmap") and name not in KERNEL_NATIVE:
+        assert result.backend == "sparse", result.backend
+        assert "degraded to inline sparse execution" in \
+            (result.backend_reason or ""), result.backend_reason
+        return "inline sparse (degradation traced)"
+    assert result.backend == backend, result.backend
+    return f"native on {backend}"
+
+
+def run_single(backend: str, n_workers: int | None = None) -> None:
+    """Fit both resolvers on ``backend``; assert parity with sparse."""
+    dataset = build_workload()
+    kwargs = {} if n_workers is None else {"n_workers": n_workers}
+    label = backend if n_workers is None else f"{backend}-w{n_workers}"
+    print(f"Baseline smoke: K={N_SOURCES}, N={_n_objects():,}, "
+          f"density={DENSITY:.0%}, backend={label}"
+          f"{' [smoke]' if _smoke() else ''}")
+    for name in RESOLVERS:
+        reference = resolver_by_name(name, backend="sparse").fit(dataset)
+        started = time.perf_counter()
+        result = resolver_by_name(name, backend=backend,
+                                  **kwargs).fit(dataset)
+        seconds = time.perf_counter() - started
+        _assert_identical(reference, result)
+        note = _check_stamp(name, backend, result)
+        print(f"  {name:<12} {seconds:>8.2f} s  {note}; "
+              f"bit-identical to sparse")
+        assert np.all(np.isfinite(result.weights))
+
+
+def test_baseline_backend_smoke(benchmark):
+    """pytest-benchmark entry: the sparse run of both resolvers."""
+    os.environ.setdefault("REPRO_BENCH_SMOKE", "1")
+    benchmark.pedantic(run_single, args=("sparse",), rounds=1,
+                       iterations=1)
+
+
+def main() -> None:
+    """Script entry: ``--backend {dense,sparse,process,mmap}``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend", choices=("dense", "sparse", "process", "mmap"),
+        default="sparse")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-backend worker count")
+    args = parser.parse_args()
+    run_single(args.backend, n_workers=args.workers)
+
+
+if __name__ == "__main__":
+    main()

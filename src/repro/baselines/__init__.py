@@ -13,7 +13,13 @@ Three families:
   [4], :class:`AccuSimResolver` [10].
 
 All are implemented from their original papers with the authors'
-suggested parameters and share the :class:`ConflictResolver` interface.
+suggested parameters and share the :class:`ConflictResolver` interface
+— including its execution-backend knobs
+(``backend``/``n_workers``/``chunk_claims``): every resolver runs on
+every backend, either natively through the segment kernels (CRH,
+Mean/Median/Voting, CATD) or inline on the resolved sparse claims with
+the degradation reason traced (GTM and the fact-graph methods on
+process/mmap).  See ``docs/RESOLVERS.md`` for the full support matrix.
 """
 
 from .accusim import AccuSimResolver
@@ -25,6 +31,7 @@ from .base import (
     resolver_by_name,
 )
 from .claims import ClaimGraph, build_claim_graph, winners_to_truth_table
+from .execution import ExecutionSession
 from .crh_adapter import CRHResolver
 from .estimates import ThreeEstimatesResolver, TwoEstimatesResolver
 from .gtm import GTMParams, GTMResolver
@@ -45,6 +52,7 @@ __all__ = [
     "CRHResolver",
     "ClaimGraph",
     "ConflictResolver",
+    "ExecutionSession",
     "GTMParams",
     "GTMResolver",
     "InvestmentResolver",

@@ -13,6 +13,11 @@ TruthFinder for continuous claims.
 Source-dependency detection (AccuCopy etc. from the same paper) is out of
 scope, exactly as Section 3.1.2 states ("we do not consider source
 dependency in this paper").
+
+Runs on the :class:`~repro.baselines.claims.ClaimGraph` built from
+claim views, so dense and sparse backends are bit-identical;
+process/mmap requests degrade (traced) to inline sparse execution via
+:func:`~repro.baselines.claims.claim_graph_session`.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ import numpy as np
 from ..core.result import TruthDiscoveryResult
 from ..data.table import MultiSourceDataset
 from .base import ConflictResolver, register_resolver
-from .claims import ClaimGraph, build_claim_graph, winners_to_truth_table
+from .claims import ClaimGraph, claim_graph_session, winners_to_truth_table
 
 _ACC_FLOOR = 1e-3
 _ACC_CEIL = 1.0 - 1e-3
@@ -50,7 +55,9 @@ class AccuSimResolver(ConflictResolver):
         initial_accuracy: float = 0.8,
         max_iterations: int = 20,
         tol: float = 1e-4,
+        **backend_kwargs,
     ) -> None:
+        super().__init__(**backend_kwargs)
         if n_false_values < 1:
             raise ValueError("n_false_values must be >= 1")
         if not 0 <= rho <= 1:
@@ -64,7 +71,14 @@ class AccuSimResolver(ConflictResolver):
         self.tol = tol
 
     def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
-        graph = build_claim_graph(dataset)
+        """Iterate accuracy-weighted votes with similarity reinforcement."""
+        session, graph = claim_graph_session(self, dataset)
+        try:
+            return session.stamp(self._fit_graph(session.data, graph))
+        finally:
+            session.close()
+
+    def _fit_graph(self, data, graph: ClaimGraph) -> TruthDiscoveryResult:
         claims_per_source = np.maximum(graph.claims_per_source(), 1)
         accuracy = np.full(graph.n_sources, self.initial_accuracy)
         probability = np.zeros(graph.n_facts)
@@ -89,11 +103,11 @@ class AccuSimResolver(ConflictResolver):
                 converged = True
                 break
         winners = graph.argmax_fact_per_entry(probability)
-        truths = winners_to_truth_table(graph, dataset, winners)
+        truths = winners_to_truth_table(graph, data, winners)
         return TruthDiscoveryResult(
             truths=truths,
             weights=accuracy,
-            source_ids=dataset.source_ids,
+            source_ids=data.source_ids,
             method=self.name,
             iterations=iterations,
             converged=converged,

@@ -2,7 +2,11 @@
 
 Every baseline (and CRH itself, through an adapter) implements
 :class:`ConflictResolver`, so the experiment harness can run the whole
-Table 2 / Table 4 method column uniformly.
+Table 2 / Table 4 method column uniformly.  Every resolver also accepts
+the execution-backend knobs (``backend``/``n_workers``/``chunk_claims``)
+and reports which backend completed the run on its result — see
+:mod:`repro.baselines.execution` and ``docs/RESOLVERS.md`` for the
+support matrix.
 """
 
 from __future__ import annotations
@@ -10,13 +14,30 @@ from __future__ import annotations
 import abc
 import time
 
+from ..core.result import TruthDiscoveryResult
 from ..data.schema import PropertyKind
 from ..data.table import MultiSourceDataset
-from ..core.result import TruthDiscoveryResult
+from ..engine import BACKEND_NAMES
+from .execution import ExecutionSession
 
 
 class ConflictResolver(abc.ABC):
-    """A conflict-resolution method mapping a dataset to truths + weights."""
+    """A conflict-resolution method mapping a dataset to truths + weights.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend name (``"auto"``, ``"dense"``, ``"sparse"``,
+        ``"process"``, ``"mmap"``) resolved through
+        :func:`repro.engine.make_backend`.  Methods whose math has no
+        worker/chunk formulation run inline on a parallel backend's
+        sparse claims, recording why in the result's
+        ``backend_reason`` (see ``docs/RESOLVERS.md``).
+    n_workers:
+        Worker count for the process backend; ignored elsewhere.
+    chunk_claims:
+        Claims per chunk for the mmap backend; ignored elsewhere.
+    """
 
     #: registry key and display name, e.g. ``"TruthFinder"``
     name: str
@@ -30,6 +51,23 @@ class ConflictResolver(abc.ABC):
     #: (GTM's variances, 3-Estimates' error factors) and must be inverted
     #: before the Fig. 1 comparison.
     scores_are_unreliability: bool = False
+
+    def __init__(self, *, backend: str = "auto",
+                 n_workers: int | None = None,
+                 chunk_claims: int | None = None) -> None:
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, got {backend!r}"
+            )
+        self.backend = backend
+        self.n_workers = n_workers
+        self.chunk_claims = chunk_claims
+
+    def _session(self, dataset) -> ExecutionSession:
+        """Resolve ``dataset`` through this resolver's backend knobs."""
+        return ExecutionSession(dataset, self.backend,
+                                n_workers=self.n_workers,
+                                chunk_claims=self.chunk_claims)
 
     @abc.abstractmethod
     def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
@@ -64,13 +102,23 @@ def register_resolver(cls: type[ConflictResolver]) -> type[ConflictResolver]:
 
 
 def resolver_by_name(name: str, **kwargs) -> ConflictResolver:
-    """Instantiate a registered resolver by display name."""
+    """Instantiate a registered resolver by display name.
+
+    ``kwargs`` are forwarded to the resolver's constructor — every
+    resolver uniformly accepts the backend knobs
+    (``backend``/``n_workers``/``chunk_claims``) alongside its own
+    parameters.  An unknown ``name`` raises :class:`KeyError` listing
+    the valid names; constructor errors (e.g. an invalid parameter
+    value) propagate unchanged instead of being misreported as an
+    unknown resolver.
+    """
     try:
-        return _RESOLVERS[name](**kwargs)
+        cls = _RESOLVERS[name]
     except KeyError:
         raise KeyError(
             f"unknown resolver {name!r}; registered: {available_resolvers()}"
         ) from None
+    return cls(**kwargs)
 
 
 def available_resolvers() -> tuple[str, ...]:

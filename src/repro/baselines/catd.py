@@ -16,6 +16,16 @@ match the truths, while well-observed sources converge to the CRH-style
 inverse-error weight.  Truths are then the weighted mean (continuous) /
 weighted vote (categorical) under those weights, iterated like CRH.
 
+Both halves of the iteration run through the segment kernels via an
+:class:`~repro.baselines.execution.ExecutionSession`: the per-source
+error sums are :meth:`~repro.baselines.execution.ExecutionSession.per_source`
+aggregates (un-normalized), the truth updates are kernel truth steps.
+On datasets without text properties every loss is worker/chunk-capable,
+so CATD runs natively on all four backends; a text property brings the
+``edit_distance`` loss, which has no worker/chunk implementation — the
+process and mmap backends then degrade to inline sparse execution with
+the refusal traced in the result's ``backend_reason``.
+
 This is an *extension* method (not one of the paper's Table 2 baselines)
 and therefore not part of ``PAPER_METHOD_ORDER``; it shines exactly
 where the deep-web workloads hurt CRH least-covered sources — see
@@ -27,14 +37,23 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats
 
+from ..core.initialization import initialize_vote_median
 from ..core.losses import loss_by_name
-from ..core.objective import ConvergenceCriterion
+from ..core.objective import ConvergenceCriterion, DeviationOptions
 from ..core.result import TruthDiscoveryResult
 from ..core.solver import states_to_truth_table
-from ..core.initialization import initialize_vote_median
 from ..data.schema import PropertyKind
 from ..data.table import MultiSourceDataset
 from .base import ConflictResolver, register_resolver
+
+
+def _claim_counts(data) -> np.ndarray:
+    """Per-source observation counts across all properties."""
+    counts = np.zeros(data.n_sources, dtype=np.float64)
+    for prop in data.properties:
+        view = prop.claim_view()
+        counts += np.bincount(view.source_idx, minlength=data.n_sources)
+    return counts
 
 
 @register_resolver
@@ -50,12 +69,15 @@ class CATDResolver(ConflictResolver):
         alpha = 0.05).
     max_iterations / tol:
         Iteration control, as in CRH.
+    backend / n_workers / chunk_claims:
+        Execution-backend knobs (see :class:`ConflictResolver`).
     """
 
     name = "CATD"
 
     def __init__(self, alpha: float = 0.05, max_iterations: int = 100,
-                 tol: float = 1e-6) -> None:
+                 tol: float = 1e-6, **backend_kwargs) -> None:
+        super().__init__(**backend_kwargs)
         if not 0 < alpha < 1:
             raise ValueError(f"alpha must be in (0, 1), got {alpha}")
         self.alpha = alpha
@@ -79,48 +101,42 @@ class CATDResolver(ConflictResolver):
 
     def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
         """Iterate chi-squared-bounded weights and weighted truth updates."""
-        losses = []
-        for prop in dataset.schema:
-            if prop.kind is PropertyKind.CONTINUOUS:
-                # CATD is formulated on squared errors.
-                losses.append(loss_by_name("squared"))
-            elif prop.kind is PropertyKind.TEXT:
-                losses.append(loss_by_name("edit_distance"))
-            else:
-                losses.append(loss_by_name("zero_one"))
-        columns = initialize_vote_median(dataset)
-        states = [
-            loss.initial_state(prop, column)
-            for loss, prop, column in zip(losses, dataset.properties,
-                                          columns)
-        ]
-        criterion = ConvergenceCriterion(tol=self.tol)
-        weights = np.ones(dataset.n_sources)
-        converged = False
-        iterations = 0
-        for iterations in range(1, self.max_iterations + 1):
-            sums = np.zeros(dataset.n_sources)
-            counts = np.zeros(dataset.n_sources)
-            for loss, prop, state in zip(losses, dataset.properties,
-                                         states):
-                dev = loss.deviations(state, prop)
-                sums += np.nansum(dev, axis=1)
-                counts += (~np.isnan(dev)).sum(axis=1)
-            weights = self._weights(sums, counts)
-            states = [
-                loss.update_truth(prop, weights)
-                for loss, prop in zip(losses, dataset.properties)
-            ]
-            objective = float(np.dot(weights, sums))
-            if criterion.update(objective):
-                converged = True
-                break
-        truths = states_to_truth_table(dataset, states)
-        return TruthDiscoveryResult(
-            truths=truths,
-            weights=weights,
-            source_ids=dataset.source_ids,
-            method=self.name,
-            iterations=iterations,
-            converged=converged,
-        )
+        session = self._session(dataset)
+        try:
+            data = session.data
+            losses = []
+            for prop in data.schema:
+                if prop.kind is PropertyKind.CONTINUOUS:
+                    # CATD is formulated on squared errors.
+                    losses.append(loss_by_name("squared"))
+                elif prop.kind is PropertyKind.TEXT:
+                    losses.append(loss_by_name("edit_distance"))
+                else:
+                    losses.append(loss_by_name("zero_one"))
+            states = session.initial_states(losses, initialize_vote_median)
+            session.start(losses, states)
+            counts = _claim_counts(data)
+            options = DeviationOptions(normalize_by_counts=False)
+            criterion = ConvergenceCriterion(tol=self.tol)
+            weights = np.ones(data.n_sources)
+            converged = False
+            iterations = 0
+            for iterations in range(1, self.max_iterations + 1):
+                sums = session.per_source(states, options)
+                weights = self._weights(sums, counts)
+                states = session.truth_step(weights)
+                objective = float(np.dot(weights, sums))
+                if criterion.update(objective):
+                    converged = True
+                    break
+            truths = states_to_truth_table(data, states)
+            return session.stamp(TruthDiscoveryResult(
+                truths=truths,
+                weights=weights,
+                source_ids=data.source_ids,
+                method=self.name,
+                iterations=iterations,
+                converged=converged,
+            ))
+        finally:
+            session.close()

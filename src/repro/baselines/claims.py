@@ -20,6 +20,15 @@ group reductions) so the baselines stay vectorized:
 
 Facts are numbered so that facts of the same entry are contiguous,
 enabling per-entry segment reductions via ``entry_fact_start``.
+
+The graph is built from *claim views* in canonical (object-major,
+source-minor) order, so a dense dataset and its sparse
+:class:`~repro.data.claims_matrix.ClaimsMatrix` counterpart produce
+byte-identical graphs — and therefore bit-identical baseline results —
+on the dense and sparse backends.  The fact-graph iterations themselves
+have no worker/chunk formulation; resolvers built on this module
+degrade (traced) to inline sparse execution on the process and mmap
+backends, see :func:`claim_graph_session`.
 """
 
 from __future__ import annotations
@@ -29,8 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.encoding import MISSING_CODE
-from ..data.records import encoded_record_arrays
-from ..data.table import MultiSourceDataset, TruthTable
+from ..data.table import TruthTable
 
 
 @dataclass(frozen=True)
@@ -119,29 +127,62 @@ class ClaimGraph:
         numeric values.  Categorical facts get zero (distinct categories do
         not imply each other).  Returns, for every fact,
         ``sum_{f' != f, same entry} sim(f, f') * fact_scores[f']``.
+
+        Vectorized over all eligible entries at once: the ``(f_e, f_e)``
+        similarity matrices are flattened into one pair expansion of
+        total size ``sum_e f_e^2`` and reduced with a single weighted
+        ``bincount`` — no per-entry Python loop.
         """
         result = np.zeros(self.n_facts)
-        starts = self.entry_fact_start
-        for e in range(self.n_entries):
-            lo, hi = starts[e], starts[e + 1]
-            if hi - lo < 2 or not self.fact_is_continuous[lo]:
-                continue
-            values = self.fact_value[lo:hi]
-            scores = fact_scores[lo:hi]
-            scale = values.std()
-            if scale <= 0:
-                scale = 1.0
-            sim = np.exp(
-                -np.abs(values[:, None] - values[None, :])
-                / (bandwidth * scale)
-            )
-            np.fill_diagonal(sim, 0.0)
-            result[lo:hi] = sim @ scores
+        sizes = self.facts_per_entry().astype(np.int64)
+        first_fact = self.entry_fact_start[:-1]
+        eligible = np.flatnonzero(
+            (sizes >= 2)
+            & self.fact_is_continuous[np.minimum(first_fact,
+                                                 max(self.n_facts - 1, 0))]
+        )
+        if eligible.size == 0:
+            return result
+        # Per-entry fact-value std (ddof=0, two-pass), non-positive -> 1.
+        counts = np.maximum(sizes.astype(np.float64), 1.0)
+        mean = (np.bincount(self.fact_entry, weights=self.fact_value,
+                            minlength=self.n_entries) / counts)
+        centered_sq = (self.fact_value - mean[self.fact_entry]) ** 2
+        variance = (np.bincount(self.fact_entry, weights=centered_sq,
+                                minlength=self.n_entries) / counts)
+        scale = np.sqrt(variance)
+        scale = np.where(scale > 0, scale, 1.0)
+        # Pair expansion: for entry e with f_e facts, f_e^2 (row, col)
+        # pairs laid out row-major, exactly the per-entry sim @ scores.
+        pair_counts = sizes[eligible] * sizes[eligible]
+        offsets = np.concatenate(([0], np.cumsum(pair_counts)))
+        within = (np.arange(offsets[-1], dtype=np.int64)
+                  - np.repeat(offsets[:-1], pair_counts))
+        entry_rep = np.repeat(np.arange(eligible.size), pair_counts)
+        size_rep = sizes[eligible][entry_rep]
+        start_rep = first_fact[eligible][entry_rep]
+        rows = start_rep + within // size_rep
+        cols = start_rep + within % size_rep
+        sim = np.exp(
+            -np.abs(self.fact_value[rows] - self.fact_value[cols])
+            / (bandwidth * scale[eligible][entry_rep])
+        )
+        contribution = np.where(rows != cols,
+                                sim * fact_scores[cols], 0.0)
+        result += np.bincount(rows, weights=contribution,
+                              minlength=self.n_facts)
         return result
 
 
-def build_claim_graph(dataset: MultiSourceDataset) -> ClaimGraph:
-    """Flatten a dataset into a :class:`ClaimGraph` (facts = claimed values)."""
+def build_claim_graph(dataset) -> ClaimGraph:
+    """Flatten a dataset into a :class:`ClaimGraph` (facts = claimed values).
+
+    ``dataset`` may be a dense
+    :class:`~repro.data.table.MultiSourceDataset` or a sparse
+    :class:`~repro.data.claims_matrix.ClaimsMatrix`: claims are read
+    through each property's canonical claim view, so both
+    representations yield byte-identical graphs.
+    """
     n_objects = dataset.n_objects
     all_entry_keys: list[np.ndarray] = []
     all_sources: list[np.ndarray] = []
@@ -149,20 +190,19 @@ def build_claim_graph(dataset: MultiSourceDataset) -> ClaimGraph:
     all_values: list[np.ndarray] = []
     all_is_continuous: list[np.ndarray] = []
 
-    arrays = encoded_record_arrays(dataset)
-    for m, prop in enumerate(dataset.schema):
-        cols = arrays[prop.name]
-        objects = cols["object"].astype(np.int64)
-        sources = cols["source"].astype(np.int64)
-        values = cols["value"]
-        if prop.is_continuous:
+    for m, prop in enumerate(dataset.properties):
+        view = prop.claim_view()
+        objects = np.asarray(view.object_idx).astype(np.int64)
+        sources = np.asarray(view.source_idx).astype(np.int64)
+        if prop.schema.is_continuous:
+            values = np.asarray(view.values, dtype=np.float64)
             unique_vals, value_codes = np.unique(values, return_inverse=True)
             numeric = unique_vals[value_codes]
             continuous = np.ones(values.size, dtype=bool)
         else:
-            value_codes = values.astype(np.int64)
+            value_codes = np.asarray(view.values).astype(np.int64)
             numeric = value_codes.astype(np.float64)
-            continuous = np.zeros(values.size, dtype=bool)
+            continuous = np.zeros(value_codes.size, dtype=bool)
         all_entry_keys.append(np.int64(m) * n_objects + objects)
         all_sources.append(sources)
         all_value_codes.append(value_codes.astype(np.int64))
@@ -212,10 +252,34 @@ def build_claim_graph(dataset: MultiSourceDataset) -> ClaimGraph:
     )
 
 
+def claim_graph_session(resolver, dataset):
+    """Resolve a fact-graph resolver's backend and build its graph.
+
+    Returns ``(session, graph)``.  Fact-graph iterations (Investment,
+    2/3-Estimates, TruthFinder, AccuSim) walk the whole claim/fact
+    arrays every round and have no worker/chunk formulation, so a
+    process/mmap backend request degrades immediately to inline sparse
+    execution with that reason traced — the graph is then built from
+    the resolved data's claim views (dense or sparse, identical
+    bytes).  The caller must ``session.close()`` when done and
+    ``session.stamp(result)`` before returning.
+    """
+    session = resolver._session(dataset)
+    session.require_inline(
+        f"{resolver.name}'s fact-graph iteration walks global "
+        "claim/fact arrays and has no worker/chunk kernels"
+    )
+    return session, build_claim_graph(session.data)
+
+
 def winners_to_truth_table(graph: ClaimGraph,
-                           dataset: MultiSourceDataset,
+                           dataset,
                            winning_facts: np.ndarray) -> TruthTable:
-    """Decode the per-entry winning facts back into a truth table."""
+    """Decode the per-entry winning facts back into a truth table.
+
+    ``dataset`` may be dense or a claims matrix — only schema, object
+    ids and codecs are read.
+    """
     columns: list[np.ndarray] = []
     for prop in dataset.schema:
         if prop.uses_codec:

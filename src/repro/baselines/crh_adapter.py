@@ -11,12 +11,31 @@ from .base import ConflictResolver, register_resolver
 
 @register_resolver
 class CRHResolver(ConflictResolver):
-    """CRH with the paper's default configuration (Section 3.1.2)."""
+    """CRH with the paper's default configuration (Section 3.1.2).
+
+    Backend knobs passed through the resolver interface
+    (``backend``/``n_workers``/``chunk_claims``) override the
+    corresponding :class:`~repro.core.solver.CRHConfig` fields, so
+    ``resolver_by_name("CRH", backend="process")`` behaves exactly like
+    ``crh(dataset, backend="process")`` — native execution on all four
+    backends, with the solver's own degradation tracing.
+    """
 
     name = "CRH"
 
-    def __init__(self, config: CRHConfig | None = None) -> None:
-        self.config = config or CRHConfig()
+    def __init__(self, config: CRHConfig | None = None,
+                 **backend_kwargs) -> None:
+        super().__init__(**backend_kwargs)
+        config = config or CRHConfig()
+        overrides = {}
+        if self.backend != "auto":
+            overrides["backend"] = self.backend
+        if self.n_workers is not None:
+            overrides["n_workers"] = self.n_workers
+        if self.chunk_claims is not None:
+            overrides["chunk_claims"] = self.chunk_claims
+        self.config = config.with_(**overrides) if overrides else config
 
     def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
+        """Run the CRH solver under this resolver's configuration."""
         return CRHSolver(self.config).fit(dataset)

@@ -18,6 +18,11 @@ After each round both methods apply the authors' *linear rescaling*
 normalization, mapping the estimate vectors onto [0, 1] — without it the
 fixpoint collapses (every estimate drifts to the same value).  Source
 error factors are unreliability scores, so Fig. 1 inverts them.
+
+Both methods run on the :class:`~repro.baselines.claims.ClaimGraph`
+built from claim views, so dense and sparse backends are bit-identical;
+process/mmap requests degrade (traced) to inline sparse execution via
+:func:`~repro.baselines.claims.claim_graph_session`.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ import numpy as np
 from ..core.result import TruthDiscoveryResult
 from ..data.table import MultiSourceDataset
 from .base import ConflictResolver, register_resolver
-from .claims import ClaimGraph, build_claim_graph, winners_to_truth_table
+from .claims import ClaimGraph, claim_graph_session, winners_to_truth_table
 
 _EPS = 1e-3  # guards the 3-Estimates divisions by eps/theta
 
@@ -41,28 +46,37 @@ def _rescale(values: np.ndarray) -> np.ndarray:
 
 
 class _EstimatesBase(ConflictResolver):
+    """Shared fixpoint scaffolding; subclasses define the update rules."""
+
     scores_are_unreliability = True
 
-    def __init__(self, max_iterations: int = 20, tol: float = 1e-6) -> None:
+    def __init__(self, max_iterations: int = 20, tol: float = 1e-6,
+                 **backend_kwargs) -> None:
+        super().__init__(**backend_kwargs)
         self.max_iterations = max_iterations
         self.tol = tol
 
     def _run(self, graph: ClaimGraph) -> tuple[np.ndarray, np.ndarray, int, bool]:
+        """Run the truth/error fixpoint; subclass responsibility."""
         raise NotImplementedError
 
     def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
-        graph = build_claim_graph(dataset)
-        p, eps, iterations, converged = self._run(graph)
-        winners = graph.argmax_fact_per_entry(p)
-        truths = winners_to_truth_table(graph, dataset, winners)
-        return TruthDiscoveryResult(
-            truths=truths,
-            weights=eps,  # error factors: lower = more reliable
-            source_ids=dataset.source_ids,
-            method=self.name,
-            iterations=iterations,
-            converged=converged,
-        )
+        """Run the estimates fixpoint and decode the winning facts."""
+        session, graph = claim_graph_session(self, dataset)
+        try:
+            p, eps, iterations, converged = self._run(graph)
+            winners = graph.argmax_fact_per_entry(p)
+            truths = winners_to_truth_table(graph, session.data, winners)
+            return session.stamp(TruthDiscoveryResult(
+                truths=truths,
+                weights=eps,  # error factors: lower = more reliable
+                source_ids=session.data.source_ids,
+                method=self.name,
+                iterations=iterations,
+                converged=converged,
+            ))
+        finally:
+            session.close()
 
 
 @register_resolver

@@ -15,6 +15,16 @@ coordinate-ascent MAP inference on per-entry z-score-normalized values
 Categorical properties are ignored (the method is continuous-only, which
 is why Table 2 reports "NA" for its Error Rate); the reliability score
 reported per source is its estimated *precision* ``1 / sigma_k^2``.
+
+The implementation works on claim views: z-scores, precision-weighted
+posterior sums and per-source residual aggregates are all
+:mod:`repro.core.kernels` segment reductions
+(:func:`~repro.core.kernels.segment_sum`,
+:func:`~repro.core.kernels.accumulate_source_deviations`), so dense and
+sparse inputs produce bit-identical results.  The iteration itself has
+no worker/chunk formulation (the variance step couples every property's
+residuals), so a process/mmap backend request degrades to inline sparse
+execution with the reason traced in the result's ``backend_reason``.
 """
 
 from __future__ import annotations
@@ -23,12 +33,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core import kernels
 from ..core.result import TruthDiscoveryResult
-from ..core.weighted_stats import column_std, weighted_mean_columns
 from ..data.encoding import MISSING_CODE
 from ..data.schema import PropertyKind
 from ..data.table import MultiSourceDataset, TruthTable
 from .base import ConflictResolver, register_resolver
+
+#: why a parallel backend cannot serve GTM's steps (traced on degrade)
+_INLINE_REASON = (
+    "GTM's precision-weighted Bayesian updates couple all properties "
+    "per source and have no worker/chunk kernels"
+)
 
 
 @dataclass(frozen=True)
@@ -49,38 +65,69 @@ class GTMParams:
             raise ValueError("alpha, beta and sigma0_sq must be positive")
 
 
+class _NormalizedProperty:
+    """One continuous property's z-scored claim arrays (claim view)."""
+
+    def __init__(self, prop) -> None:
+        view = prop.claim_view()
+        self.indptr = np.asarray(view.indptr, dtype=np.int64)
+        self.source_idx = np.asarray(view.source_idx)
+        object_idx = np.asarray(view.object_idx)
+        values = np.asarray(view.values, dtype=np.float64)
+        counts = np.diff(self.indptr).astype(np.float64)
+        sums = kernels.segment_sum(values, self.indptr)
+        self.center = np.where(counts > 0,
+                               sums / np.maximum(counts, 1.0), 0.0)
+        self.scale = view.entry_std()
+        self.z = ((values - self.center[object_idx])
+                  / self.scale[object_idx])
+        self.object_idx = object_idx
+
+
 @register_resolver
 class GTMResolver(ConflictResolver):
-    """Gaussian Truth Model for continuous properties."""
+    """Gaussian Truth Model for continuous properties.
+
+    Parameters
+    ----------
+    params:
+        Hyper-parameters (:class:`GTMParams`); the defaults follow the
+        original paper.
+    backend / n_workers / chunk_claims:
+        Execution-backend knobs (see :class:`ConflictResolver`); runs
+        inline on dense/sparse, degrades (traced) on process/mmap.
+    """
 
     name = "GTM"
     handles = frozenset((PropertyKind.CONTINUOUS,))
     scores_are_unreliability = False  # we report precision = reliability
 
-    def __init__(self, params: GTMParams | None = None) -> None:
+    def __init__(self, params: GTMParams | None = None,
+                 **backend_kwargs) -> None:
+        super().__init__(**backend_kwargs)
         self.params = params or GTMParams()
 
     def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
+        """Run coordinate-ascent MAP inference on z-scored claims."""
+        session = self._session(dataset)
+        session.require_inline(_INLINE_REASON)
+        try:
+            return session.stamp(self._fit_inline(session.data))
+        finally:
+            session.close()
+
+    def _fit_inline(self, data) -> TruthDiscoveryResult:
         params = self.params
-        k = dataset.n_sources
+        k = data.n_sources
 
         # --- preprocessing: z-score every entry across its claims --------
-        normalized: list[np.ndarray] = []
-        centers: list[np.ndarray] = []
-        scales: list[np.ndarray] = []
+        normalized: list[_NormalizedProperty] = []
         continuous_indices: list[int] = []
-        for m, prop in enumerate(dataset.properties):
+        for m, prop in enumerate(data.properties):
             if not prop.schema.is_continuous:
                 continue
             continuous_indices.append(m)
-            values = prop.values
-            with np.errstate(invalid="ignore"):
-                center = np.nanmean(values, axis=0)
-            center = np.where(np.isnan(center), 0.0, center)
-            scale = column_std(values)
-            normalized.append((values - center[None, :]) / scale[None, :])
-            centers.append(center)
-            scales.append(scale)
+            normalized.append(_NormalizedProperty(prop))
 
         if not continuous_indices:
             raise ValueError("GTM requires at least one continuous property")
@@ -88,7 +135,11 @@ class GTMResolver(ConflictResolver):
         # --- coordinate-ascent MAP inference ----------------------------
         sigma_sq = np.ones(k)
         truths_norm = [
-            weighted_mean_columns(matrix, np.ones(k)) for matrix in normalized
+            kernels.segment_weighted_mean(
+                norm.z, np.ones(norm.z.shape[0]), norm.indptr,
+                group_of_claim=norm.object_idx,
+            )
+            for norm in normalized
         ]
         iterations = 0
         converged = False
@@ -96,23 +147,25 @@ class GTMResolver(ConflictResolver):
             # Truth step: precision-weighted mean with Gaussian prior.
             precision = 1.0 / sigma_sq
             new_truths = []
-            for matrix in normalized:
-                observed = ~np.isnan(matrix)
-                weight = np.where(observed, precision[:, None], 0.0)
+            for norm in normalized:
+                claim_precision = precision[norm.source_idx]
                 numerator = (params.mu0 / params.sigma0_sq
-                             + np.nansum(
-                                 np.where(observed, matrix, 0.0) * weight,
-                                 axis=0))
-                denominator = 1.0 / params.sigma0_sq + weight.sum(axis=0)
+                             + kernels.segment_sum(
+                                 norm.z * claim_precision, norm.indptr))
+                denominator = (1.0 / params.sigma0_sq
+                               + kernels.segment_sum(claim_precision,
+                                                     norm.indptr))
                 new_truths.append(numerator / denominator)
             # Variance step: inverse-Gamma MAP on squared residuals.
             residual_sq = np.zeros(k)
             counts = np.zeros(k)
-            for matrix, mu in zip(normalized, new_truths):
-                observed = ~np.isnan(matrix)
-                diff = np.where(observed, matrix - mu[None, :], 0.0)
-                residual_sq += (diff ** 2).sum(axis=1)
-                counts += observed.sum(axis=1)
+            for norm, mu in zip(normalized, new_truths):
+                prop_sq, prop_counts = kernels.accumulate_source_deviations(
+                    (norm.z - mu[norm.object_idx]) ** 2,
+                    norm.source_idx, k,
+                )
+                residual_sq += prop_sq
+                counts += prop_counts
             new_sigma_sq = (2.0 * params.beta + residual_sq) / (
                 2.0 * (params.alpha + 1.0) + counts
             )
@@ -126,27 +179,27 @@ class GTMResolver(ConflictResolver):
         # --- de-normalize truths and assemble the result -----------------
         columns: list[np.ndarray] = []
         cont_cursor = 0
-        for m, prop in enumerate(dataset.schema):
+        for m, prop in enumerate(data.schema):
             if prop.uses_codec:
                 columns.append(
-                    np.full(dataset.n_objects, MISSING_CODE, dtype=np.int32)
+                    np.full(data.n_objects, MISSING_CODE, dtype=np.int32)
                 )
             else:
-                mu = truths_norm[cont_cursor]
+                norm = normalized[cont_cursor]
                 columns.append(
-                    mu * scales[cont_cursor] + centers[cont_cursor]
+                    truths_norm[cont_cursor] * norm.scale + norm.center
                 )
                 cont_cursor += 1
         truths = TruthTable(
-            schema=dataset.schema,
-            object_ids=dataset.object_ids,
+            schema=data.schema,
+            object_ids=data.object_ids,
             columns=columns,
-            codecs=dataset.codecs(),
+            codecs=data.codecs(),
         )
         return TruthDiscoveryResult(
             truths=truths,
             weights=1.0 / sigma_sq,
-            source_ids=dataset.source_ids,
+            source_ids=data.source_ids,
             method=self.name,
             iterations=iterations,
             converged=converged,

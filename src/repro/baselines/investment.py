@@ -14,6 +14,11 @@ proportion to how much of each claim's belief their investment funded.
 
 Trust scores are normalized to mean 1 every round, which is the standard
 guard against the exponential blow-up of the raw recurrence.
+
+Both methods run on the :class:`~repro.baselines.claims.ClaimGraph`
+built from claim views, so dense and sparse backends are bit-identical;
+process/mmap requests degrade (traced) to inline sparse execution via
+:func:`~repro.baselines.claims.claim_graph_session`.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ import numpy as np
 from ..core.result import TruthDiscoveryResult
 from ..data.table import MultiSourceDataset
 from .base import ConflictResolver, register_resolver
-from .claims import ClaimGraph, build_claim_graph, winners_to_truth_table
+from .claims import ClaimGraph, claim_graph_session, winners_to_truth_table
 
 
 class _InvestmentBase(ConflictResolver):
@@ -33,15 +38,25 @@ class _InvestmentBase(ConflictResolver):
     max_iterations: int
     tol: float
 
-    def __init__(self, max_iterations: int = 20, tol: float = 1e-6) -> None:
+    def __init__(self, max_iterations: int = 20, tol: float = 1e-6,
+                 **backend_kwargs) -> None:
+        super().__init__(**backend_kwargs)
         self.max_iterations = max_iterations
         self.tol = tol
 
     def _beliefs(self, graph: ClaimGraph, invested: np.ndarray) -> np.ndarray:
+        """Fact beliefs from invested credit; subclass responsibility."""
         raise NotImplementedError
 
     def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
-        graph = build_claim_graph(dataset)
+        """Iterate the invest/harvest trust recurrence to a fixpoint."""
+        session, graph = claim_graph_session(self, dataset)
+        try:
+            return session.stamp(self._fit_graph(session.data, graph))
+        finally:
+            session.close()
+
+    def _fit_graph(self, data, graph: ClaimGraph) -> TruthDiscoveryResult:
         claims_per_source = np.maximum(graph.claims_per_source(), 1)
         trust = np.ones(graph.n_sources)
         beliefs = np.zeros(graph.n_facts)
@@ -68,11 +83,11 @@ class _InvestmentBase(ConflictResolver):
                 converged = True
                 break
         winners = graph.argmax_fact_per_entry(beliefs)
-        truths = winners_to_truth_table(graph, dataset, winners)
+        truths = winners_to_truth_table(graph, data, winners)
         return TruthDiscoveryResult(
             truths=truths,
             weights=trust,
-            source_ids=dataset.source_ids,
+            source_ids=data.source_ids,
             method=self.name,
             iterations=iterations,
             converged=converged,

@@ -14,6 +14,11 @@ non-independent sources, and the logistic link keeps confidences in
 Parameter defaults follow the original paper: ``gamma = 0.3``,
 ``rho = 0.5``, initial trust 0.9, convergence on the change in the trust
 vector.
+
+Runs on the :class:`~repro.baselines.claims.ClaimGraph` built from
+claim views, so dense and sparse backends are bit-identical;
+process/mmap requests degrade (traced) to inline sparse execution via
+:func:`~repro.baselines.claims.claim_graph_session`.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ import numpy as np
 from ..core.result import TruthDiscoveryResult
 from ..data.table import MultiSourceDataset
 from .base import ConflictResolver, register_resolver
-from .claims import build_claim_graph, winners_to_truth_table
+from .claims import claim_graph_session, winners_to_truth_table
 
 _MAX_TRUST = 1.0 - 1e-6
 
@@ -41,7 +46,9 @@ class TruthFinderResolver(ConflictResolver):
         initial_trust: float = 0.9,
         max_iterations: int = 20,
         tol: float = 1e-4,
+        **backend_kwargs,
     ) -> None:
+        super().__init__(**backend_kwargs)
         if not 0 < gamma:
             raise ValueError("gamma must be positive")
         if not 0 <= rho <= 1:
@@ -55,7 +62,14 @@ class TruthFinderResolver(ConflictResolver):
         self.tol = tol
 
     def fit(self, dataset: MultiSourceDataset) -> TruthDiscoveryResult:
-        graph = build_claim_graph(dataset)
+        """Iterate trust propagation with inter-fact implications."""
+        session, graph = claim_graph_session(self, dataset)
+        try:
+            return session.stamp(self._fit_graph(session.data, graph))
+        finally:
+            session.close()
+
+    def _fit_graph(self, data, graph) -> TruthDiscoveryResult:
         claims_per_source = np.maximum(graph.claims_per_source(), 1)
         trust = np.full(graph.n_sources, self.initial_trust)
         confidence = np.zeros(graph.n_facts)
@@ -78,11 +92,11 @@ class TruthFinderResolver(ConflictResolver):
                 converged = True
                 break
         winners = graph.argmax_fact_per_entry(confidence)
-        truths = winners_to_truth_table(graph, dataset, winners)
+        truths = winners_to_truth_table(graph, data, winners)
         return TruthDiscoveryResult(
             truths=truths,
             weights=trust,
-            source_ids=dataset.source_ids,
+            source_ids=data.source_ids,
             method=self.name,
             iterations=iterations,
             converged=converged,

@@ -24,7 +24,12 @@ The pinned cases:
   reads are inside the timing, in the ``truth_step/io`` span);
 * ``fig7/scaling_point`` — one parallel-CRH point of the Fig. 7 grid
   (Adult-shaped workload, simulated cluster);
-* ``streaming/icrh_chunks`` — I-CRH over a chunked weather stream.
+* ``streaming/icrh_chunks`` — I-CRH over a chunked weather stream;
+* ``baseline/median-sparse`` / ``baseline/catd-process-w2`` /
+  ``baseline/truthfinder-sparse`` — baseline resolvers through the
+  unified execution layer (``docs/RESOLVERS.md``): a uniform-weight
+  kernel truth step, CATD's runner-native iteration on the worker
+  pool, and a fact-graph method on CSR claims.
 """
 
 from __future__ import annotations
@@ -185,6 +190,25 @@ def _run_process_backend(n_workers: int):
     return run
 
 
+# -- baseline resolvers -------------------------------------------------
+
+def _run_resolver(name: str, backend: str, **backend_kwargs):
+    """A measured body fitting one baseline resolver on one backend.
+
+    Kernel attribution is process-global while a profiler is active, so
+    the resolver's segment-kernel calls land in the snapshot's kernel
+    counters; the whole fit is wrapped in one ``run`` phase.
+    """
+    def run(payload, profiler: MemoryProfiler):
+        from ..baselines import resolver_by_name
+
+        resolver = resolver_by_name(name, backend=backend,
+                                    **backend_kwargs)
+        with activate(profiler), profiler.phase("run"):
+            return resolver.fit(payload)
+    return run
+
+
 # -- fig7 scaling point -------------------------------------------------
 
 def _fig7_payload(scale: float, seed: int):
@@ -280,6 +304,25 @@ SUITE: tuple[BenchCase, ...] = (
         description="I-CRH over a window-chunked weather stream",
         build=_stream_payload,
         run=_run_icrh,
+    ),
+    BenchCase(
+        name="baseline/median-sparse",
+        description="Median resolver (uniform-weight kernel truth "
+                    "step) on CSR claims",
+        build=_backend_payload,
+        run=_run_resolver("Median", "sparse"),
+    ),
+    BenchCase(
+        name="baseline/catd-process-w2",
+        description="CATD on the shared-memory worker pool, 2 workers",
+        build=_backend_payload,
+        run=_run_resolver("CATD", "process", n_workers=2),
+    ),
+    BenchCase(
+        name="baseline/truthfinder-sparse",
+        description="TruthFinder's fact-graph iteration on CSR claims",
+        build=_backend_payload,
+        run=_run_resolver("TruthFinder", "sparse"),
     ),
 )
 

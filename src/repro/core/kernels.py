@@ -20,10 +20,18 @@ kernel                                  paper equation
 :func:`segment_weighted_medoid`         Eq. 3 restricted to claimed
                                         strings (text medoid)
 :func:`segment_std`                     std normalizer of Eqs. 13/15
+:func:`segment_sum`                     plain per-group sums (GTM
+                                        posterior statistics, Eq. 2/5
+                                        style reductions)
+:func:`segment_huber_irls`              Huber truth step (IRLS on the
+                                        Eq. 14/16 interpolation)
 :func:`zero_one_claim_deviations`       Eq. 8
 :func:`probability_claim_deviations`    Eq. 11 (closed form)
 :func:`squared_claim_deviations`        Eq. 13
 :func:`absolute_claim_deviations`       Eq. 15
+:func:`huber_claim_deviations`          Huber deviation (robust loss)
+:func:`bregman_claim_deviations`        Bregman divergence deviations
+                                        (Section 2.5's [29] family)
 :func:`accumulate_source_deviations`    per-source sums feeding Eq. 2/5
 ======================================  ==================================
 
@@ -274,6 +282,68 @@ def segment_std(values: np.ndarray, indptr: np.ndarray,
 
 
 @_profiled
+def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Plain per-group sums over a CSR segmentation; empty groups sum to 0.
+
+    The unweighted reduction primitive behind the GTM baseline's
+    posterior statistics (and any per-entry accumulation expressed over
+    the claim view).  Segment-local like every kernel here, so sharded
+    and chunked execution reproduce the single-array result bit for bit.
+    """
+    return _segment_sums(values, indptr)
+
+
+@_profiled
+def segment_huber_irls(
+    values: np.ndarray, claim_weights: np.ndarray, indptr: np.ndarray,
+    stds: np.ndarray, initial: np.ndarray, *, delta: float,
+    iterations: int, tol: float,
+    group_of_claim: np.ndarray | None = None,
+) -> np.ndarray:
+    """Huber-loss truth step: per-group IRLS from a warm start.
+
+    Iteratively reweighted least squares for the per-entry minimizer of
+    the weighted Huber cost: each round multiplies the claim weights by
+    the Huber influence factor ``min(1, delta / |r|)`` of the
+    standardized residual ``r`` and re-solves the weighted mean.
+    ``initial`` (typically the weighted median) seeds the residuals.
+
+    Convergence is evaluated *per group*: a group freezes permanently
+    once its own update moves less than ``tol``, independent of every
+    other group.  A group's trajectory is therefore a pure function of
+    its own claims, which keeps sharded (process) and chunked (mmap)
+    execution bit-identical to the single-array backends.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if group_of_claim is None:
+        group_of_claim = _group_of_claim(indptr)
+    weights, _ = _effective_weights(claim_weights, indptr, group_of_claim)
+    stds = np.asarray(stds, dtype=np.float64)
+    truth = np.asarray(initial, dtype=np.float64).copy()
+    active = np.diff(indptr) > 0
+    claim_std = stds[group_of_claim]
+    for _ in range(iterations):
+        if not active.any():
+            break
+        residual = (values - truth[group_of_claim]) / claim_std
+        magnitude = np.abs(residual)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            irls = np.where(magnitude <= delta, 1.0, delta / magnitude)
+        irls = np.where(np.isfinite(irls), irls, 1.0)
+        reweighted = weights * irls
+        totals = _segment_sums(reweighted, indptr)
+        sums = _segment_sums(values * reweighted, indptr)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            update = np.where(totals > 0, sums / totals, truth)
+        moved = np.abs(update - truth)
+        truth = np.where(active, update, truth)
+        # Freeze groups whose own update settled; NaN deltas (all-NaN
+        # groups) freeze too — further rounds cannot change them.
+        active = active & ~((moved < tol) | ~np.isfinite(moved))
+    return truth
+
+
+@_profiled
 def segment_weighted_medoid(
     codes: np.ndarray, claim_weights: np.ndarray, indptr: np.ndarray,
     pair_distance: Callable[[int, int], float],
@@ -361,6 +431,57 @@ def absolute_claim_deviations(values: np.ndarray, truths: np.ndarray,
     residual = np.asarray(values, dtype=np.float64) \
         - np.asarray(truths)[object_idx]
     return np.abs(residual) / np.asarray(stds)[object_idx]
+
+
+@_profiled
+def huber_claim_deviations(values: np.ndarray, truths: np.ndarray,
+                           stds: np.ndarray, object_idx: np.ndarray,
+                           delta: float) -> np.ndarray:
+    """Huber deviation of every claim from its entry's truth.
+
+    The standardized residual ``r = (v - x*) / std`` scored by the Huber
+    function: quadratic (``r^2 / 2``) inside ``[-delta, delta]``, linear
+    (``delta (|r| - delta / 2)``) outside — the robust-loss counterpart
+    of :func:`squared_claim_deviations` / :func:`absolute_claim_deviations`.
+    """
+    residual = (np.asarray(values, dtype=np.float64)
+                - np.asarray(truths)[object_idx]) \
+        / np.asarray(stds)[object_idx]
+    magnitude = np.abs(residual)
+    return np.where(magnitude <= delta,
+                    0.5 * residual ** 2,
+                    delta * (magnitude - 0.5 * delta))
+
+
+@_profiled
+def bregman_claim_deviations(values: np.ndarray, truths: np.ndarray,
+                             indptr: np.ndarray, object_idx: np.ndarray,
+                             divergence) -> np.ndarray:
+    """Scale-normalized Bregman divergence of every claim (Section 2.5).
+
+    ``divergence(values, truths)`` is one generator's vectorized
+    ``d_phi(x, y)`` (see :data:`repro.core.bregman.GENERATORS`); the raw
+    divergences are divided by their per-entry mean so entries with
+    large divergences don't dominate the weight step — mirroring the
+    std normalization of Eqs. 13/15.  The per-entry scale is a
+    *segment-local* reduction (mean over the entry's own claims, with
+    non-positive or non-finite scales falling back to 1.0), so sharded
+    and chunked execution stay bit-identical — provided shards never
+    split an entry's claim segment, which both parallel backends
+    guarantee.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        raw = divergence(values, np.asarray(truths)[object_idx])
+    finite = np.isfinite(raw)
+    counts = _segment_sums(finite.astype(np.float64), indptr)
+    sums = _segment_sums(np.where(finite, raw, 0.0), indptr)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        scale = sums / counts
+    scale = np.where((counts > 0) & np.isfinite(scale) & (scale > 1e-12),
+                     scale, 1.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return raw / scale[object_idx]
 
 
 @_profiled

@@ -26,9 +26,11 @@ The built-in losses run entirely on the claim view (see
 :class:`~repro.data.table.PropertyObservations` and sparse
 :class:`~repro.data.claims_matrix.PropertyClaims` interchangeably — any
 property exposing ``claim_view()``, ``codec``, ``schema`` and
-``n_objects`` works.  Custom losses may instead implement only the dense
-``deviations``/``update_truth`` pair (e.g. :mod:`repro.core.bregman`);
-they then require a dense property.
+``n_objects`` works.  The shipped extensions (:mod:`repro.core.robust_loss`,
+:mod:`repro.core.bregman`, :mod:`repro.core.text_loss`) are claim-view
+native too.  Custom losses may instead implement only the dense
+``deviations``/``update_truth`` pair; they then require a dense property
+and fall back to inline sparse execution on the parallel backends.
 
 The paper's recommended configuration (Section 3.1.2) is ``zero_one`` +
 ``absolute``; ``probability`` + ``squared`` is the provably convergent
@@ -76,6 +78,10 @@ class Loss(abc.ABC):
     name: str
     #: the property kind this loss applies to
     kind: PropertyKind
+    #: True when the loss normalizes by the per-entry cross-source std
+    #: (Eqs. 13/15); the parallel backends pre-compute and ship that std
+    #: alongside the claim arrays for losses that declare it
+    uses_entry_std: bool = False
 
     @abc.abstractmethod
     def initial_state(self, prop, init_column: np.ndarray) -> TruthState:
@@ -207,6 +213,7 @@ class NormalizedSquaredLoss(Loss):
 
     name = "squared"
     kind = PropertyKind.CONTINUOUS
+    uses_entry_std = True
 
     def initial_state(self, prop, init_column: np.ndarray) -> TruthState:
         state = TruthState(column=np.asarray(init_column, dtype=np.float64))
@@ -241,6 +248,7 @@ class NormalizedAbsoluteLoss(Loss):
 
     name = "absolute"
     kind = PropertyKind.CONTINUOUS
+    uses_entry_std = True
 
     def initial_state(self, prop, init_column: np.ndarray) -> TruthState:
         state = TruthState(column=np.asarray(init_column, dtype=np.float64))

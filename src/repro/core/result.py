@@ -37,6 +37,18 @@ class TruthDiscoveryResult:
         Objective value after every iteration, when the method tracks one.
     elapsed_seconds:
         Wall-clock fit time, filled in by the experiment harness.
+    backend:
+        Name of the execution backend that actually completed the run
+        (``dense``/``sparse``/``process``/``mmap``), or ``None`` for
+        methods predating backend execution.  A run that degraded —
+        e.g. a ``process`` request whose loss has no worker
+        implementation — reports the backend it *finished* on
+        (``sparse``), mirroring the trace.
+    backend_reason:
+        Why that backend ran: the resolution note of
+        :func:`repro.engine.make_backend` or, after a degradation, the
+        degradation cause (the same string the trace records as
+        ``backend_reason``).
     """
 
     truths: TruthTable
@@ -47,6 +59,8 @@ class TruthDiscoveryResult:
     converged: bool = True
     objective_history: list[float] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    backend: str | None = None
+    backend_reason: str | None = None
 
     def __post_init__(self) -> None:
         self.weights = np.asarray(self.weights, dtype=np.float64)

@@ -13,6 +13,17 @@ computed by IRLS (iteratively reweighted least squares), warm-started at
 the weighted median.  Because the weighted Huber objective is convex in
 the truth, IRLS converges to the global per-entry minimum, keeping the
 block-coordinate argument of Section 2.5 intact.
+
+Like the four published losses, the Huber loss runs entirely on the
+claim view: the truth step is :func:`repro.core.kernels.segment_huber_irls`
+(seeded by :func:`~repro.core.kernels.segment_weighted_median`) and the
+deviations are :func:`repro.core.kernels.huber_claim_deviations`.  IRLS
+convergence is checked *per entry* — each entry freezes once its own
+update settles — so the iteration count of one entry never depends on
+another entry's claims, and sharded (``process``) and chunked (``mmap``)
+execution reproduce the single-array backends bit for bit.  The loss is
+listed in ``WORKER_LOSSES`` and ``CHUNK_LOSSES`` and runs natively on
+all four execution backends.
 """
 
 from __future__ import annotations
@@ -20,17 +31,23 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.schema import PropertyKind
-from ..data.table import PropertyObservations
-from .losses import Loss, TruthState, register_loss
-from .weighted_stats import weighted_median_columns
+from . import kernels
+from .losses import Loss, TruthState, register_loss, _entry_std
 
 
 @register_loss
 class HuberLoss(Loss):
-    """Huber loss on std-normalized residuals; IRLS truth update."""
+    """Huber loss on std-normalized residuals; IRLS truth update.
+
+    Truth step: :func:`~repro.core.kernels.segment_huber_irls` warm-started
+    at the weighted median; deviations:
+    :func:`~repro.core.kernels.huber_claim_deviations`.  Supported
+    natively on the dense, sparse, process, and mmap backends.
+    """
 
     name = "huber"
     kind = PropertyKind.CONTINUOUS
+    uses_entry_std = True
 
     #: residual size (in entry-std units) where quadratic turns linear
     delta: float = 1.0
@@ -38,63 +55,43 @@ class HuberLoss(Loss):
     irls_iterations: int = 25
     irls_tol: float = 1e-9
 
-    def _entry_std(self, aux: dict, prop: PropertyObservations) -> np.ndarray:
-        cached = aux.get("std")
-        if cached is None:
-            from .weighted_stats import column_std
-            cached = column_std(prop.values)
-            aux["std"] = cached
-        return cached
-
     # ------------------------------------------------------------------
-    def initial_state(self, prop: PropertyObservations,
-                      init_column: np.ndarray) -> TruthState:
+    def initial_state(self, prop, init_column: np.ndarray) -> TruthState:
+        """Wrap the initial column; pre-cache the per-entry std."""
         state = TruthState(column=np.asarray(init_column, dtype=np.float64))
-        self._entry_std(state.aux, prop)
+        _entry_std(state.aux, prop)
         return state
 
-    def update_truth(self, prop: PropertyObservations,
-                     weights: np.ndarray) -> TruthState:
-        values = prop.values
-        observed = ~np.isnan(values)
-        state = TruthState(column=weighted_median_columns(values, weights))
-        std = self._entry_std(state.aux, prop)
-        weight_matrix = np.where(observed, weights[:, None], 0.0)
-        totals = weight_matrix.sum(axis=0)
-        zero = (totals <= 0) & observed.any(axis=0)
-        if zero.any():
-            weight_matrix[:, zero] = np.where(observed[:, zero], 1.0, 0.0)
-
-        truth = state.column.copy()
-        for _ in range(self.irls_iterations):
-            residual = (values - truth[None, :]) / std[None, :]
-            magnitude = np.abs(residual)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                irls = np.where(magnitude <= self.delta, 1.0,
-                                self.delta / magnitude)
-            irls = np.where(observed, irls, 0.0)
-            combined = weight_matrix * irls
-            denominator = combined.sum(axis=0)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                update = np.nansum(
-                    np.where(observed, values, 0.0) * combined, axis=0
-                ) / denominator
-            update = np.where(denominator > 0, update, truth)
-            if np.nanmax(np.abs(update - truth), initial=0.0) < self.irls_tol:
-                truth = update
-                break
-            truth = update
-        state.column = truth
+    def update_truth(self, prop, weights: np.ndarray) -> TruthState:
+        """Per-entry IRLS minimizer of the weighted Huber objective."""
+        view = prop.claim_view()
+        state = TruthState(column=np.empty(0))
+        std = _entry_std(state.aux, prop)
+        claim_weights = view.claim_weights(weights)
+        initial = kernels.segment_weighted_median(
+            view.values, claim_weights, view.indptr,
+            group_of_claim=view.object_idx,
+        )
+        state.column = kernels.segment_huber_irls(
+            view.values, claim_weights, view.indptr, std, initial,
+            delta=self.delta, iterations=self.irls_iterations,
+            tol=self.irls_tol, group_of_claim=view.object_idx,
+        )
         return state
 
-    def deviations(self, state: TruthState,
-                   prop: PropertyObservations) -> np.ndarray:
-        std = self._entry_std(state.aux, prop)
-        residual = (prop.values - state.column[None, :]) / std[None, :]
-        magnitude = np.abs(residual)
-        quadratic = 0.5 * residual ** 2
-        linear = self.delta * (magnitude - 0.5 * self.delta)
-        return np.where(magnitude <= self.delta, quadratic, linear)
+    def claim_deviations(self, state: TruthState, prop) -> np.ndarray:
+        """Huber deviations per claim (kernel evaluation)."""
+        view = prop.claim_view()
+        return kernels.huber_claim_deviations(
+            view.values, state.column, _entry_std(state.aux, prop),
+            view.object_idx, self.delta,
+        )
+
+    def deviations(self, state: TruthState, prop) -> np.ndarray:
+        """Dense ``(K, N)`` bridge over :meth:`claim_deviations`."""
+        return kernels.scatter_claims_to_matrix(
+            prop.claim_view(), self.claim_deviations(state, prop)
+        )
 
 
 def huber_value(residual: float, delta: float = 1.0) -> float:

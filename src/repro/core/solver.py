@@ -366,6 +366,11 @@ class CRHSolver:
                     elapsed_seconds=time.perf_counter() - started,
                     **extras,
                 ))
+            if degraded_reason is not None:
+                # Covers mid-run degradation too: the run may have
+                # started on process/mmap but finished inline.
+                backend_name = "sparse"
+                backend_reason = degraded_reason
             return TruthDiscoveryResult(
                 truths=truths,
                 weights=weights,
@@ -375,6 +380,8 @@ class CRHSolver:
                 converged=converged,
                 objective_history=history,
                 elapsed_seconds=time.perf_counter() - started,
+                backend=backend_name,
+                backend_reason=backend_reason,
             )
         finally:
             if backend is not None and owns_backend:

@@ -72,11 +72,15 @@ from ..data.table import MultiSourceDataset
 from ..observability.profiling import span
 from .backend import BackendExecutionError, _BackendBase
 
-#: loss registry names the chunked runner evaluates — the same four
-#: paper losses the process backend's workers support; anything else
+#: loss registry names the chunked runner evaluates — the same set the
+#: process backend's workers support (the four paper losses plus the
+#: claim-view-native huber and Bregman extensions); anything else
 #: (text medoid, custom dense-only losses) degrades to inline sparse.
 CHUNK_LOSSES = frozenset({"zero_one", "probability", "squared",
-                          "absolute"})
+                          "absolute", "huber",
+                          "bregman_squared_euclidean",
+                          "bregman_itakura_saito",
+                          "bregman_generalized_i"})
 
 
 class MmapBackendError(BackendExecutionError):
@@ -236,7 +240,7 @@ class _MmapRunner:
         for prop, loss in zip(data.properties, losses):
             self._stds.append(
                 chunked_entry_std(prop, self.chunk_claims)
-                if loss.name in ("squared", "absolute") else None
+                if loss.uses_entry_std else None
             )
             offsets.append(total)
             total += prop.n_claims

@@ -34,9 +34,10 @@ surfaces as :class:`ProcessBackendError`; the solver catches it, tears
 the pool down and degrades gracefully to inline sparse execution with
 the reason recorded in the trace.
 
-Only the four built-in losses (``zero_one``, ``probability``,
-``squared``, ``absolute``) run in workers; configurations with text or
-custom losses degrade to inline execution the same way.
+Losses listed in :data:`WORKER_LOSSES` — the four built-in losses plus
+the claim-view-native extensions (``huber`` and the three Bregman
+divergences) — run in workers; configurations with text or custom
+dense-only losses degrade to inline execution the same way.
 """
 
 from __future__ import annotations
@@ -58,8 +59,14 @@ from .backend import BackendExecutionError, _BackendBase
 
 #: loss registry names whose truth/deviation steps workers evaluate;
 #: anything else (text medoid, custom dense-only losses) runs inline.
+#: Workers rebuild losses with ``loss_by_name(name)``, so only losses
+#: whose parameterless construction matches the parent's configuration
+#: can be listed here.
 WORKER_LOSSES = frozenset({"zero_one", "probability", "squared",
-                           "absolute"})
+                           "absolute", "huber",
+                           "bregman_squared_euclidean",
+                           "bregman_itakura_saito",
+                           "bregman_generalized_i"})
 
 #: claim count above which ``backend="auto"`` upgrades a sparse
 #: footprint recommendation to the process backend (when >1 CPU is
@@ -388,7 +395,7 @@ class _ProcessRunner:
                        (keys["source_idx"], view.source_idx),
                        (keys["object_idx"], view.object_idx),
                        (keys["indptr"], view.indptr)]
-            if loss.name in ("squared", "absolute"):
+            if loss.uses_entry_std:
                 keys["std"] = builder.add(f"p{index}/std",
                                           np.float64, (n,))
                 copies.append((keys["std"], view.entry_std()))

@@ -27,6 +27,33 @@ class TestRegistry:
         with pytest.raises(KeyError, match="unknown resolver"):
             resolver_by_name("MagicOracle")
 
+    def test_unknown_method_lists_registered_names(self):
+        """The error is actionable: it names every valid resolver."""
+        with pytest.raises(KeyError) as excinfo:
+            resolver_by_name("MagicOracle")
+        message = str(excinfo.value)
+        for name in available_resolvers():
+            assert name in message
+
+    def test_constructor_errors_are_not_masked(self):
+        """A bad kwarg raises the constructor's own error, never the
+        registry's "unknown resolver" KeyError."""
+        with pytest.raises(ValueError, match="alpha"):
+            resolver_by_name("CATD", alpha=2.0)
+
+    def test_backend_kwargs_accepted_uniformly(self):
+        """Every registered resolver takes the three backend knobs."""
+        for name in available_resolvers():
+            resolver = resolver_by_name(name, backend="sparse",
+                                        n_workers=2, chunk_claims=7)
+            assert resolver.backend == "sparse"
+            assert resolver.n_workers == 2
+            assert resolver.chunk_claims == 7
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            resolver_by_name("Mean", backend="gpu")
+
 
 @pytest.mark.parametrize("method", PAPER_METHOD_ORDER)
 class TestResolverContract:

@@ -45,6 +45,9 @@ class TestSuite:
             "backend/mmap",
             "fig7/scaling_point",
             "streaming/icrh_chunks",
+            "baseline/median-sparse",
+            "baseline/catd-process-w2",
+            "baseline/truthfinder-sparse",
         ]
 
     def test_cases_by_name_exact_and_prefix(self):

@@ -96,6 +96,21 @@ def test_observability_package_is_walked():
             "repro.observability.report"} <= walked
 
 
+def test_resolvers_doc_covers_registry():
+    """``docs/RESOLVERS.md`` is the resolver catalogue of record: every
+    name ``resolver_by_name`` accepts must appear there in backticks, so
+    the support matrix can never silently fall behind the registry."""
+    from repro.baselines import available_resolvers
+
+    text = (Path(__file__).resolve().parent.parent
+            / "docs" / "RESOLVERS.md").read_text(encoding="utf-8")
+    documented = set(re.findall(r"`([^`\n]+)`", text))
+    missing = sorted(set(available_resolvers()) - documented)
+    assert not missing, (
+        f"resolvers absent from docs/RESOLVERS.md: {missing}"
+    )
+
+
 def test_observability_doc_names_every_metric_field():
     """``docs/OBSERVABILITY.md`` is the trace glossary of record: every
     field a record constructor can emit must appear there (in

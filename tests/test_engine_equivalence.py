@@ -432,3 +432,108 @@ class TestBackendFuzz:
         }
         for result in others.values():
             _assert_results_identical(reference, result)
+
+
+#: Resolvers whose truth/weight steps run through the runner protocol,
+#: so process/mmap requests execute natively.  Everything else iterates
+#: a global structure (fact graph, GTM's coupled Bayesian updates) and
+#: degrades — traced — to inline sparse execution.  Keep in sync with
+#: the docs/RESOLVERS.md support matrix.
+KERNEL_NATIVE_RESOLVERS = frozenset(
+    {"CRH", "Mean", "Median", "Voting", "CATD"}
+)
+
+
+def _resolver_names():
+    from repro.baselines import available_resolvers
+
+    return sorted(available_resolvers())
+
+
+class TestResolverBackendEquivalence:
+    """Every registered resolver is a kernel client: all four backends
+    produce bit-identical truths and weights, either natively through
+    the runner protocol or via a traced degradation to inline sparse."""
+
+    @pytest.mark.parametrize("method", _resolver_names())
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_four_way_bit_identical(self, method, seed):
+        from repro.baselines import resolver_by_name
+
+        dataset = _fuzz_dataset(seed, k=6, n=25)
+        reference = resolver_by_name(method, backend="dense").fit(dataset)
+        others = {
+            "sparse": resolver_by_name(
+                method, backend="sparse").fit(dataset),
+            "process": resolver_by_name(
+                method, backend="process", n_workers=2).fit(dataset),
+            "mmap": resolver_by_name(
+                method, backend="mmap", chunk_claims=7).fit(dataset),
+        }
+        for result in others.values():
+            _assert_truths_equal(reference.truths, result.truths)
+            assert np.array_equal(reference.weights, result.weights)
+            assert reference.iterations == result.iterations
+        # Stamps: every result says where it actually ran and why.
+        assert reference.backend == "dense"
+        assert others["sparse"].backend == "sparse"
+        for backend in ("process", "mmap"):
+            result = others[backend]
+            if method in KERNEL_NATIVE_RESOLVERS:
+                assert result.backend == backend
+                assert result.backend_reason is not None
+            else:
+                assert result.backend == "sparse"
+                assert ("degraded to inline sparse execution"
+                        in result.backend_reason)
+                assert backend in result.backend_reason
+
+
+class TestResolverDegradation:
+    """Losses without worker/chunk kernels (and methods with no kernel
+    formulation at all) fall back to inline sparse execution with the
+    refusal traced on the result."""
+
+    PARALLEL_BACKENDS = [("process", {"n_workers": 2}),
+                        ("mmap", {"chunk_claims": 7})]
+
+    @pytest.mark.parametrize("backend,kwargs", PARALLEL_BACKENDS)
+    def test_catd_text_loss_degrades(self, backend, kwargs):
+        """edit_distance is outside WORKER_LOSSES/CHUNK_LOSSES, so a
+        text property forces CATD's session to refuse the runner."""
+        from repro.baselines import resolver_by_name
+
+        dataset = _text_dataset(90)
+        degraded = resolver_by_name(
+            "CATD", backend=backend, **kwargs).fit(dataset)
+        sparse = resolver_by_name("CATD", backend="sparse").fit(dataset)
+        _assert_truths_equal(sparse.truths, degraded.truths)
+        assert np.array_equal(sparse.weights, degraded.weights)
+        assert degraded.backend == "sparse"
+        assert ("degraded to inline sparse execution"
+                in degraded.backend_reason)
+        assert "edit_distance" in degraded.backend_reason
+
+    @pytest.mark.parametrize("backend,kwargs", PARALLEL_BACKENDS)
+    def test_gtm_traces_inline_only_reason(self, backend, kwargs):
+        """GTM has no runner formulation: the session degrades up front
+        and the reason names the method, not a loss."""
+        from repro.baselines import resolver_by_name
+
+        dataset = _fuzz_dataset(91, k=5, n=20)
+        result = resolver_by_name(
+            "GTM", backend=backend, **kwargs).fit(dataset)
+        assert result.backend == "sparse"
+        assert ("degraded to inline sparse execution"
+                in result.backend_reason)
+        assert "GTM" in result.backend_reason
+
+    @pytest.mark.parametrize("backend,kwargs", PARALLEL_BACKENDS)
+    def test_fact_graph_traces_reason(self, backend, kwargs):
+        from repro.baselines import resolver_by_name
+
+        dataset = _fuzz_dataset(92, k=5, n=20)
+        result = resolver_by_name(
+            "TruthFinder", backend=backend, **kwargs).fit(dataset)
+        assert result.backend == "sparse"
+        assert "fact-graph" in result.backend_reason

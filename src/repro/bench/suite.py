@@ -25,6 +25,9 @@ The pinned cases:
 * ``fig7/scaling_point`` — one parallel-CRH point of the Fig. 7 grid
   (Adult-shaped workload, simulated cluster);
 * ``streaming/icrh_chunks`` — I-CRH over a chunked weather stream;
+* ``serving/ingest_read`` — the same stream pushed claim batches at a
+  time through :class:`~repro.streaming.TruthService` (window sealing,
+  dirty-set recompute) followed by a full-corpus truth read;
 * ``baseline/median-sparse`` / ``baseline/catd-process-w2`` /
   ``baseline/truthfinder-sparse`` — baseline resolvers through the
   unified execution layer (``docs/RESOLVERS.md``): a uniform-weight
@@ -46,7 +49,7 @@ from ..datasets import WeatherConfig, generate_weather_dataset
 from ..experiments.scaling import _adult_workload
 from ..observability.profiling import MemoryProfiler, activate
 from ..parallel import ParallelCRHConfig, parallel_crh
-from ..streaming import icrh
+from ..streaming import TruthService, icrh, iter_dataset_claims
 
 
 @dataclass(frozen=True)
@@ -241,6 +244,39 @@ def _run_icrh(payload, profiler: MemoryProfiler):
     return icrh(payload, window=2, profiler=profiler)
 
 
+# -- serving ------------------------------------------------------------
+
+_SERVING_BATCH = 512
+
+
+def _serving_payload(scale: float, seed: int):
+    """The weather stream flattened to ingestion-ordered claims."""
+    dataset = _stream_payload(scale, seed)
+    return {
+        "schema": dataset.schema,
+        "codecs": dataset.codecs(),
+        "claims": list(iter_dataset_claims(dataset)),
+        "object_ids": list(dataset.object_ids),
+    }
+
+
+def _run_serving(payload, profiler: MemoryProfiler):
+    """Ingest the stream through TruthService, then read every object.
+
+    Batched ingest seals windows as they complete (the service's
+    ``ingest``/``recompute`` spans), the flush drains the tail, and a
+    full-corpus read exercises the warm truth cache (``read`` span).
+    """
+    service = TruthService(payload["schema"], window=2,
+                           codecs=payload["codecs"], profiler=profiler)
+    claims = payload["claims"]
+    with activate(profiler), profiler.phase("run"):
+        for start in range(0, len(claims), _SERVING_BATCH):
+            service.ingest(claims[start:start + _SERVING_BATCH])
+        service.flush()
+        return service.get_truth(payload["object_ids"])
+
+
 # -- the pinned suite ---------------------------------------------------
 
 #: every case ``python -m repro bench`` measures, in execution order
@@ -304,6 +340,13 @@ SUITE: tuple[BenchCase, ...] = (
         description="I-CRH over a window-chunked weather stream",
         build=_stream_payload,
         run=_run_icrh,
+    ),
+    BenchCase(
+        name="serving/ingest_read",
+        description="TruthService batched ingest + full-corpus read "
+                    "over the weather stream",
+        build=_serving_payload,
+        run=_run_serving,
     ),
     BenchCase(
         name="baseline/median-sparse",

@@ -171,6 +171,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "trace":
         from .bench.cli import trace_main
         return trace_main(argv[1:])
+    if argv and argv[0] == "serve-sim":
+        from .streaming.sim import serve_sim_main
+        return serve_sim_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (description, _) in _EXPERIMENTS.items():
@@ -180,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
         print("bench    performance suite -> BENCH_<label>.json "
               "(also: bench compare A B)")
         print("trace    trace tools (trace summarize run.jsonl)")
+        print("serve-sim  stream the weather workload through the "
+              "truth-serving layer")
         return 0
     if args.experiment == "profile":
         _run_profile(args.seed, args.output)

@@ -47,10 +47,12 @@ from .records import (
     SCHEMA_VERSION,
     benchmark_record,
     experiment_record,
+    ingest_record,
     iteration_record,
     mapreduce_job_record,
     method_run_record,
     profile_record,
+    read_record,
     run_finished,
     run_started,
     stream_chunk_record,
@@ -81,10 +83,12 @@ __all__ = [
     "append_record",
     "benchmark_record",
     "experiment_record",
+    "ingest_record",
     "iteration_record",
     "mapreduce_job_record",
     "method_run_record",
     "profile_record",
+    "read_record",
     "run_finished",
     "run_started",
     "span",

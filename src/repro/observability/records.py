@@ -22,8 +22,10 @@ import numpy as np
 #: Version stamp carried by every record as ``v``; bump on breaking
 #: schema changes so downstream consumers can dispatch.  v2 added the
 #: ``profile`` event (phase/kernel wall-time and memory breakdowns) and
-#: the ``backend_reason`` field on ``run_start``.
-SCHEMA_VERSION = 2
+#: the ``backend_reason`` field on ``run_start``.  v3 added the serving
+#: events ``ingest`` and ``read`` (TruthService batch/read telemetry:
+#: dirty-set size, cache hit rate, recompute counts).
+SCHEMA_VERSION = 3
 
 #: Glossary of every field a trace record can carry: field name ->
 #: description, including the paper equation the measurement comes from.
@@ -33,7 +35,7 @@ METRIC_FIELDS: dict[str, str] = {
     "v": "trace schema version (SCHEMA_VERSION)",
     "event": "record type discriminator: run_start, iteration, chunk, "
              "mapreduce_job, method_run, experiment, benchmark, profile, "
-             "run_end",
+             "ingest, read, run_end",
     "method": "human-readable method name (CRH, I-CRH, Parallel-CRH)",
     "n_sources": "number of sources K in the traced dataset",
     "n_objects": "number of objects N in the traced dataset",
@@ -106,6 +108,21 @@ METRIC_FIELDS: dict[str, str] = {
     "decay_applications": "times the decay factor alpha was applied to "
                           "the accumulated distances (Algorithm 2 "
                           "line 4)",
+    "ingested_claims": "claims absorbed by a TruthService ingest batch",
+    "new_objects": "objects first seen during the ingest batch",
+    "windows_sealed": "stream windows sealed (Algorithm-2 chunk steps "
+                      "run) by the ingest batch",
+    "dirty_objects": "objects in the dirty set when the ingest batch "
+                     "finished absorbing claims (before the recompute "
+                     "planner drained it)",
+    "recomputed_objects": "objects the recompute planner re-resolved "
+                          "under the current weights after the batch",
+    "read_objects": "objects a get_truth call returned truths for",
+    "cache_hits": "read objects served from a warm truth-cache entry",
+    "cache_misses": "read objects resolved on demand (no cache entry, "
+                    "or invalidated by dirty claims)",
+    "cache_hit_rate": "cache_hits / read_objects for the call (1.0 for "
+                      "an empty read)",
     "iterations": "total iterations (or chunks) the run performed",
     "converged": "whether the convergence criterion fired before the "
                  "iteration cap",
@@ -266,6 +283,48 @@ def stream_chunk_record(chunk: int, *, n_objects: int, n_sources: int,
         weight_delta=None if weight_delta is None else float(weight_delta),
         window_advances=window_advances,
         decay_applications=decay_applications,
+    )
+
+
+def ingest_record(*, ingested_claims: int, new_objects: int,
+                  new_sources: int, windows_sealed: int,
+                  dirty_objects: int, recomputed_objects: int,
+                  elapsed_seconds: float | None = None) -> dict:
+    """An ``ingest`` record: one TruthService ingest batch.
+
+    Carries how much arrived (claims, first-seen objects/sources), how
+    the stream advanced (windows sealed), and what invalidation cost:
+    the dirty-set size the batch left behind and how many objects the
+    recompute planner re-resolved.
+    """
+    return _record(
+        "ingest",
+        ingested_claims=int(ingested_claims),
+        new_objects=int(new_objects),
+        new_sources=int(new_sources),
+        windows_sealed=int(windows_sealed),
+        dirty_objects=int(dirty_objects),
+        recomputed_objects=int(recomputed_objects),
+        elapsed_seconds=elapsed_seconds,
+    )
+
+
+def read_record(*, read_objects: int, cache_hits: int, cache_misses: int,
+                cache_hit_rate: float,
+                elapsed_seconds: float | None = None) -> dict:
+    """A ``read`` record: one TruthService ``get_truth`` call.
+
+    The hit/miss split is per requested object: a hit is served from
+    the warm versioned cache, a miss is resolved on demand through the
+    segment kernels under the current weights.
+    """
+    return _record(
+        "read",
+        read_objects=int(read_objects),
+        cache_hits=int(cache_hits),
+        cache_misses=int(cache_misses),
+        cache_hit_rate=float(cache_hit_rate),
+        elapsed_seconds=elapsed_seconds,
     )
 
 

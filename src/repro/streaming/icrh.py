@@ -14,6 +14,13 @@ Smaller ``alpha`` forgets the past faster.  Observation counts are decayed
 with the same rate so the count normalization of Section 2.5 stays
 consistent under decay.  Each chunk costs a single pass — no inner
 iteration — which is where the Table 5 speedup over CRH comes from.
+
+:class:`IncrementalCRH` is a thin adapter over the layered serving
+state: source registration, accumulators, weights and history live in
+:class:`~repro.streaming.state.TruthState` (amortized-growth arrays —
+registering K sources costs O(K), not the O(K^2) of per-source
+``np.append``).  The long-lived serving facade on the same layers is
+:class:`~repro.streaming.service.TruthService`.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from ..engine import BACKEND_NAMES, make_backend
 from ..observability import run_finished, run_started, stream_chunk_record
 from ..observability.profiling import Profiler, activate, span
 from ..observability.tracer import Tracer
+from .state import TruthState
 from .windows import StreamChunk, chunk_by_window
 
 
@@ -47,7 +55,9 @@ class ICRHConfig:
     matters, 1 = all history counts equally).  Loss, weight-scheme and
     ``backend`` choices mirror :class:`~repro.core.solver.CRHConfig`;
     each arriving chunk is resolved through
-    :func:`repro.engine.make_backend`.
+    :func:`repro.engine.make_backend`.  ``tol`` is the weight-movement
+    tolerance convergence reporting uses: a full-stream run counts as
+    converged when the final chunk moved no weight by more than ``tol``.
     """
 
     decay: float = 0.5
@@ -59,6 +69,7 @@ class ICRHConfig:
     )
     normalize_by_counts: bool = True
     backend: str = "auto"
+    tol: float = 1e-3
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.decay <= 1.0:
@@ -68,13 +79,32 @@ class ICRHConfig:
                 f"backend must be one of {BACKEND_NAMES}, "
                 f"got {self.backend!r}"
             )
+        if self.tol < 0.0:
+            raise ValueError(f"tol must be >= 0, got {self.tol}")
+
+
+def losses_for_schema(schema, config: ICRHConfig) -> list[Loss]:
+    """One loss per schema property, per the config's kind mapping."""
+    losses: list[Loss] = []
+    for prop in schema:
+        if prop.kind is PropertyKind.CATEGORICAL:
+            name = config.categorical_loss
+        elif prop.kind is PropertyKind.TEXT:
+            name = config.text_loss
+        else:
+            name = config.continuous_loss
+        losses.append(loss_by_name(name))
+    return losses
 
 
 class IncrementalCRH:
     """Stateful one-pass truth discovery over arriving chunks.
 
-    Use :meth:`partial_fit` chunk by chunk (online deployment), or
-    :func:`icrh` to run over a whole timestamped dataset at once.
+    Use :meth:`partial_fit` chunk by chunk (online deployment),
+    :func:`icrh` to run over a whole timestamped dataset at once, or
+    :class:`~repro.streaming.service.TruthService` for the long-lived
+    ingest/read serving facade.  All per-source state lives in
+    :attr:`state`, a :class:`~repro.streaming.state.TruthState`.
     """
 
     def __init__(self, config: ICRHConfig | None = None,
@@ -85,13 +115,10 @@ class IncrementalCRH:
         #: optional profiler activated around each partial_fit call
         self.profiler = (profiler if profiler is not None
                          and profiler.enabled else None)
-        self._source_ids: list = []
-        self._source_index: dict = {}
-        self._accumulated = np.zeros(0)
-        self._counts = np.zeros(0)
-        self._weights = np.zeros(0)
+        #: the per-source accumulator/weight layer (shared with serving)
+        self.state = TruthState()
         self._chunks_seen = 0
-        self._weight_history: list[np.ndarray] = []
+        self._last_weight_delta: float | None = None
         #: stream windows consumed (one per partial_fit call)
         self.window_advances = 0
         #: times the decay factor was applied to accumulated history
@@ -101,14 +128,14 @@ class IncrementalCRH:
     @property
     def source_ids(self) -> tuple:
         """All sources seen so far, in order of first appearance."""
-        return tuple(self._source_ids)
+        return self.state.source_ids
 
     @property
     def weights(self) -> np.ndarray:
         """Current source weights, aligned with :attr:`source_ids`."""
         if self._chunks_seen == 0:
             raise ValueError("no chunk processed yet")
-        return self._weights
+        return self.state.weights
 
     @property
     def weight_history(self) -> np.ndarray:
@@ -117,47 +144,34 @@ class IncrementalCRH:
         Sources that joined the stream late carry ``NaN`` for the chunks
         before their arrival.
         """
-        if not self._weight_history:
+        if self._chunks_seen == 0:
             raise ValueError("no chunk processed yet")
-        k = len(self._source_ids)
-        padded = np.full((len(self._weight_history), k), np.nan)
-        for t, row in enumerate(self._weight_history):
-            padded[t, :row.size] = row
-        return padded
+        return self.state.weight_history()
 
     @property
     def chunks_seen(self) -> int:
+        """Chunks absorbed so far."""
         return self._chunks_seen
+
+    @property
+    def last_weight_delta(self) -> float | None:
+        """Max absolute weight movement of the latest chunk (``None``
+        before the first chunk) — what convergence reporting reads."""
+        return self._last_weight_delta
 
     def _positions_for(self, chunk) -> np.ndarray:
         """Accumulator positions of the chunk's sources, registering
         first-time sources (a new source starts with ``a_k = 0`` and
-        weight 1, exactly Algorithm 2's line-1 initialization)."""
-        positions = np.empty(chunk.n_sources, dtype=np.int64)
-        for i, source_id in enumerate(chunk.source_ids):
-            index = self._source_index.get(source_id)
-            if index is None:
-                index = len(self._source_ids)
-                self._source_ids.append(source_id)
-                self._source_index[source_id] = index
-                self._accumulated = np.append(self._accumulated, 0.0)
-                self._counts = np.append(self._counts, 0.0)
-                self._weights = np.append(self._weights, 1.0)
-            positions[i] = index
-        return positions
+        weight 1, exactly Algorithm 2's line-1 initialization).
+        Amortized O(1) per source via the state layer's growable
+        arrays."""
+        return self.state.register(chunk.source_ids)
 
     # ------------------------------------------------------------------
     def _losses_for(self, dataset) -> list[Loss]:
-        losses: list[Loss] = []
-        for prop in dataset.schema:
-            if prop.kind is PropertyKind.CATEGORICAL:
-                name = self.config.categorical_loss
-            elif prop.kind is PropertyKind.TEXT:
-                name = self.config.text_loss
-            else:
-                name = self.config.continuous_loss
-            losses.append(loss_by_name(name))
-        return losses
+        """One loss per property of ``dataset`` (see
+        :func:`losses_for_schema`)."""
+        return losses_for_schema(dataset.schema, self.config)
 
     def partial_fit(self, chunk) -> TruthTable:
         """Process one chunk: truths from current weights, then update.
@@ -178,15 +192,14 @@ class IncrementalCRH:
         """
         tracing = self.tracer is not None and self.tracer.enabled
         prof = self.profiler
+        state = self.state
         with activate(prof):
             with span(prof, "setup"):
                 chunk = make_backend(chunk, self.config.backend).data
-                known_sources = len(self._source_ids)
+                known_sources = state.n_sources
                 positions = self._positions_for(chunk)
-                new_sources = len(self._source_ids) - known_sources
-                previous_weights = (self._weights.copy()
-                                    if tracing else None)
-                weights_for_chunk = self._weights[positions]
+                new_sources = state.n_sources - known_sources
+                weights_for_chunk = state.weights[positions]
                 losses = self._losses_for(chunk)
             # Line 3: truths for the current chunk under the learned
             # weights.
@@ -200,52 +213,35 @@ class IncrementalCRH:
             with span(prof, "accumulate"):
                 chunk_dev = np.zeros(chunk.n_sources)
                 chunk_cnt = np.zeros(chunk.n_sources)
-                for loss, prop, state in zip(losses, chunk.properties,
-                                             states):
-                    dev = loss.claim_deviations(state, prop)
+                for loss, prop, truth_state in zip(losses, chunk.properties,
+                                                   states):
+                    dev = loss.claim_deviations(truth_state, prop)
                     totals, counts = accumulate_source_deviations(
                         dev, prop.claim_view().source_idx,
                         chunk.n_sources
                     )
                     chunk_dev += totals
                     chunk_cnt += counts
-                alpha = self.config.decay
                 if self._chunks_seen:
                     self.decay_applications += 1
-                self._accumulated *= alpha
-                self._counts *= alpha
-                np.add.at(self._accumulated, positions, chunk_dev)
-                np.add.at(self._counts, positions, chunk_cnt)
+                state.decay(self.config.decay)
+                state.add_deviations(positions, chunk_dev, chunk_cnt)
             with span(prof, "weight_step"):
-                if self.config.normalize_by_counts:
-                    with np.errstate(invalid="ignore", divide="ignore"):
-                        normalized = self._accumulated / self._counts
-                    per_source = np.where(self._counts > 0,
-                                          normalized, 0.0)
-                else:
-                    per_source = self._accumulated
-                self._weights = self.config.weight_scheme.weights(
-                    per_source)
-                # A source with no (surviving) observations carries no
-                # evidence: it keeps the Algorithm-2 line-1 weight of 1
-                # rather than the best-in-class weight a zero deviation
-                # would otherwise imply.
-                unseen = self._counts <= 1e-12
-                if unseen.any():
-                    self._weights = np.where(unseen, 1.0, self._weights)
+                self._last_weight_delta = state.refresh_weights(
+                    self.config.weight_scheme,
+                    self.config.normalize_by_counts,
+                )
         self._chunks_seen += 1
         self.window_advances += 1
-        self._weight_history.append(self._weights.copy())
+        state.record_history()
         if tracing:
             self.tracer.emit(stream_chunk_record(
                 self._chunks_seen,
                 n_objects=chunk.n_objects,
                 n_sources=chunk.n_sources,
                 new_sources=new_sources,
-                weights=self._weights,
-                weight_delta=float(
-                    np.abs(self._weights - previous_weights).max()
-                ),
+                weights=state.weights,
+                weight_delta=self._last_weight_delta,
                 window_advances=self.window_advances,
                 decay_applications=self.decay_applications,
             ))
@@ -281,10 +277,13 @@ def icrh(dataset, window: int = 1,
     config's ``backend`` selector and chunk views inherit that
     representation.  Returns the stitched truth table over all objects
     (aligned with ``dataset``), the final weights, and the per-chunk
-    weight history.  With a tracer, emits ``run_start``, one ``chunk``
-    record per window, and a ``run_end`` carrying the stream counters.
-    With a profiler, every chunk's phase/kernel timings accumulate and
-    (when also tracing) flush into the trace as ``profile`` records.
+    weight history.  The result is stamped with the resolved
+    ``backend``/``backend_reason``, and ``converged`` reports whether
+    the final chunk's weight delta fell below ``config.tol``.  With a
+    tracer, emits ``run_start``, one ``chunk`` record per window, and a
+    ``run_end`` carrying the stream counters.  With a profiler, every
+    chunk's phase/kernel timings accumulate and (when also tracing)
+    flush into the trace as ``profile`` records.
     """
     started = time.perf_counter()
     config = config or ICRHConfig()
@@ -325,12 +324,14 @@ def icrh(dataset, window: int = 1,
         codecs=dataset.codecs(),
     )
     elapsed = time.perf_counter() - started
+    converged = (model.last_weight_delta is not None
+                 and model.last_weight_delta <= config.tol)
     if tracing:
         if model.profiler is not None:
             model.profiler.flush_to(tracer)
         tracer.emit(run_finished(
             iterations=model.chunks_seen,
-            converged=True,
+            converged=converged,
             elapsed_seconds=elapsed,
             window_advances=model.window_advances,
             decay_applications=model.decay_applications,
@@ -341,8 +342,10 @@ def icrh(dataset, window: int = 1,
         source_ids=dataset.source_ids,
         method="I-CRH",
         iterations=model.chunks_seen,
-        converged=True,
+        converged=converged,
         elapsed_seconds=elapsed,
+        backend=backend.name,
+        backend_reason=backend.resolution,
     )
     return ICRHResult(
         result=result,

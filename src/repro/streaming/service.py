@@ -1,0 +1,630 @@
+"""TruthService — the long-lived serving facade over the stream layers.
+
+The service composes the layered streaming stack into the
+ingest/read/snapshot surface the ROADMAP's serving story asks for:
+
+* :class:`~repro.streaming.store.ClaimStore` absorbs arriving claims
+  and tracks the dirty set;
+* :class:`~repro.streaming.icrh.IncrementalCRH` (over
+  :class:`~repro.streaming.state.TruthState`) advances Algorithm 2 one
+  sealed window at a time;
+* :class:`~repro.streaming.planner.RecomputePlanner` re-resolves only
+  dirty objects through the shared segment kernels;
+* :class:`~repro.streaming.state.TruthCache` serves warm, versioned
+  truths to :meth:`TruthService.get_truth`.
+
+Windowing: a window *seals* — runs one Algorithm-2 chunk step — once
+claims for more than ``window`` distinct timestamps are pending, or on
+:meth:`TruthService.flush`.  Sealed truths are chunk-final, matching
+the batch :func:`~repro.streaming.icrh.icrh` stitching bit for bit
+when the stream is replayed in canonical order (time-major, then
+object, then ascending source — :func:`iter_dataset_claims` yields
+exactly that order).  Claims that arrive for already-sealed time
+ranges never rewrite weight history (I-CRH "never revisits past
+data"); they mark their object dirty, and its truth is re-resolved
+under the *current* weights — identical to what a full recompute
+would produce for that object.
+
+Snapshots persist the claim store via the sparse
+:func:`repro.data.io.save_dataset` format (``schema.json`` +
+``claims.npz`` + ``dataset.json``) plus ``state.npz`` (accumulators,
+weights, history, truth cache) and ``service.json`` (config, window
+bookkeeping, counters).  Restoring canonicalizes the stored claim
+order — deterministic, and documented as part of the format.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..core.regularizers import (
+    ExponentialWeights,
+    LpNormWeights,
+    TopJSelectionWeights,
+)
+from ..data.io import load_dataset, save_dataset
+from ..data.records import Record
+from ..data.schema import DatasetSchema
+from ..data.table import TruthTable
+from ..observability import ingest_record, read_record
+from ..observability.profiling import Profiler, activate, span
+from ..observability.tracer import Tracer
+from .icrh import ICRHConfig, IncrementalCRH, losses_for_schema
+from .planner import RecomputePlanner, resolve_truths
+from .state import TruthCache
+from .store import Claim, ClaimStore
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one :meth:`TruthService.ingest` batch did."""
+
+    #: claims absorbed from the batch
+    ingested_claims: int
+    #: objects first seen in the batch
+    new_objects: int
+    #: sources first seen in the batch
+    new_sources: int
+    #: windows sealed (Algorithm-2 chunk steps run) by the batch
+    windows_sealed: int
+    #: dirty-set size when the batch finished absorbing claims
+    dirty_objects: int
+    #: objects the recompute planner re-resolved afterwards
+    recomputed_objects: int
+    #: wall-clock seconds the batch took end to end
+    elapsed_seconds: float
+
+
+def as_claim(item) -> Claim:
+    """Normalize a claim-like input to a :class:`Claim`.
+
+    Accepts :class:`Claim`, :class:`repro.data.records.Record`, or a
+    5-tuple ``(object_id, property_name, source_id, value, timestamp)``.
+    """
+    if isinstance(item, Claim):
+        return item
+    if isinstance(item, Record):
+        return Claim(item.entry.object_id, item.entry.property_name,
+                     item.source_id, item.value, item.timestamp)
+    if isinstance(item, (tuple, list)) and len(item) == 5:
+        return Claim(*item)
+    raise TypeError(
+        f"cannot interpret {type(item).__name__} as a claim; pass a "
+        f"Claim, a Record, or a (object_id, property_name, source_id, "
+        f"value, timestamp) tuple"
+    )
+
+
+def iter_dataset_claims(dataset) -> Iterator[Claim]:
+    """Yield a timestamped dataset's claims in canonical replay order.
+
+    Order: ascending timestamp (stable over dataset object order
+    within a timestamp), then property, then ascending source index —
+    the claim order under which replaying through
+    :meth:`TruthService.ingest` is bit-identical to batch
+    :func:`~repro.streaming.icrh.icrh` on the time-sorted dataset.
+    Codec-backed values are yielded as decoded labels.
+    """
+    timestamps = dataset.object_timestamps
+    if timestamps is None:
+        raise ValueError("dataset has no object timestamps to replay")
+    timestamps = np.asarray(timestamps)
+    codecs = dataset.codecs()
+    views = [prop.claim_view() for prop in dataset.properties]
+    decoders = [codecs.get(prop.name) for prop in dataset.schema]
+    for i in np.argsort(timestamps, kind="stable"):
+        object_id = dataset.object_ids[i]
+        stamp = timestamps[i]
+        for prop, view, codec in zip(dataset.schema, views, decoders):
+            lo, hi = int(view.indptr[i]), int(view.indptr[i + 1])
+            for c in range(lo, hi):
+                value = (codec.decode(int(view.values[c]))
+                         if codec is not None else float(view.values[c]))
+                yield Claim(object_id, prop.name,
+                            dataset.source_ids[int(view.source_idx[c])],
+                            value, stamp)
+
+
+# ---------------------------------------------------------------------
+# config (de)serialization for snapshots
+# ---------------------------------------------------------------------
+
+def _scheme_to_dict(scheme) -> dict:
+    """JSON form of a built-in weight scheme (snapshot format)."""
+    if isinstance(scheme, ExponentialWeights):
+        return {"name": "exponential", "normalizer": scheme.normalizer,
+                "floor_ratio": scheme.floor_ratio}
+    if isinstance(scheme, LpNormWeights):
+        return {"name": "lp", "p": scheme.p}
+    if isinstance(scheme, TopJSelectionWeights):
+        return {"name": "top_j", "j": scheme.j}
+    raise ValueError(
+        f"snapshots support the built-in weight schemes only, "
+        f"got {scheme!r}"
+    )
+
+
+def _scheme_from_dict(data: dict):
+    """Rebuild a weight scheme from its snapshot JSON form."""
+    name = data.get("name")
+    if name == "exponential":
+        return ExponentialWeights(normalizer=data["normalizer"],
+                                  floor_ratio=data["floor_ratio"])
+    if name == "lp":
+        return LpNormWeights(p=data["p"])
+    if name == "top_j":
+        return TopJSelectionWeights(j=data["j"])
+    raise ValueError(f"unknown weight scheme {name!r} in snapshot")
+
+
+def _config_to_dict(config: ICRHConfig) -> dict:
+    """JSON form of an :class:`~repro.streaming.icrh.ICRHConfig`."""
+    return {
+        "decay": config.decay,
+        "categorical_loss": config.categorical_loss,
+        "continuous_loss": config.continuous_loss,
+        "text_loss": config.text_loss,
+        "normalize_by_counts": config.normalize_by_counts,
+        "backend": config.backend,
+        "tol": config.tol,
+        "weight_scheme": _scheme_to_dict(config.weight_scheme),
+    }
+
+
+def _config_from_dict(data: dict) -> ICRHConfig:
+    """Rebuild an :class:`~repro.streaming.icrh.ICRHConfig` from JSON."""
+    fields = dict(data)
+    scheme = _scheme_from_dict(fields.pop("weight_scheme"))
+    return ICRHConfig(weight_scheme=scheme, **fields)
+
+
+#: schema version stamped into ``service.json``
+SNAPSHOT_SCHEMA = 1
+
+
+class TruthService:
+    """Long-lived truth serving: ingest claims, read truths and weights.
+
+    >>> service = TruthService(dataset.schema, window=2,
+    ...                        codecs=dataset.codecs())
+    >>> service.ingest(iter_dataset_claims(dataset))
+    >>> service.flush()                      # seal the tail window
+    >>> truths = service.get_truth(dataset.object_ids[:10])
+    >>> weights = service.get_weights()
+
+    ``codecs`` seeds the store's label coding (pass the source
+    dataset's codecs when replaying one, so categorical codes — and
+    vote tie-breaks — line up with the batch oracle).  The execution
+    path is pinned to the sparse backend: chunks assembled by the
+    claim store must never be densified, because densification would
+    reorder claims and break replay equivalence.
+    """
+
+    def __init__(self, schema: DatasetSchema, *, window: int = 1,
+                 config: ICRHConfig | None = None, codecs=None,
+                 tracer: Tracer | None = None,
+                 profiler: Profiler | None = None,
+                 planner: RecomputePlanner | None = None) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.schema = schema
+        self.window = int(window)
+        self.config = config or ICRHConfig()
+        self.tracer = tracer
+        self.profiler = (profiler if profiler is not None
+                         and profiler.enabled else None)
+        self._store = ClaimStore(schema, codecs=codecs)
+        self._cache = TruthCache(schema)
+        self._planner = planner or RecomputePlanner()
+        serving_config = (self.config if self.config.backend == "sparse"
+                          else replace(self.config, backend="sparse"))
+        self._model = IncrementalCRH(serving_config, tracer=tracer,
+                                     profiler=self.profiler)
+        self._losses = losses_for_schema(schema, self.config)
+        #: pending (unsealed) timestamps -> object indices, arrival order
+        self._pending: dict[float, list[int]] = {}
+        self._sealed_high: float | None = None
+        self._totals = {
+            "ingested_claims": 0,
+            "windows_sealed": 0,
+            "recomputed_objects": 0,
+            "read_objects": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def source_ids(self) -> tuple:
+        """Sources seen so far, in first-appearance order."""
+        return self._store.source_ids
+
+    @property
+    def object_ids(self) -> tuple:
+        """Objects seen so far, in first-appearance order."""
+        return self._store.object_ids
+
+    @property
+    def n_objects(self) -> int:
+        """Objects seen so far."""
+        return self._store.n_objects
+
+    @property
+    def n_sources(self) -> int:
+        """Sources seen so far."""
+        return self._store.n_sources
+
+    @property
+    def dirty_objects(self) -> int:
+        """Current dirty-set size (objects awaiting re-resolution)."""
+        return len(self._store.dirty)
+
+    @property
+    def store(self) -> ClaimStore:
+        """The underlying claim store (read-mostly introspection)."""
+        return self._store
+
+    @property
+    def model(self) -> IncrementalCRH:
+        """The underlying Algorithm-2 model (weights, history)."""
+        return self._model
+
+    def _tracing(self) -> bool:
+        return self.tracer is not None and self.tracer.enabled
+
+    def _current_weights(self) -> np.ndarray:
+        """Weights over *all* store sources, in store order.
+
+        The model's state registers the store's source list (a prefix
+        of the current one) at each seal; sources that arrived since
+        carry the Algorithm-2 line-1 weight of 1.
+        """
+        weights = np.ones(self._store.n_sources)
+        k = self._model.state.n_sources
+        if k:
+            weights[:k] = self._model.state.weights
+        return weights
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, claims: Iterable) -> IngestReport:
+        """Absorb a batch of claims, sealing windows as they complete.
+
+        Each claim is a :class:`~repro.streaming.store.Claim` (or
+        anything :func:`as_claim` accepts) and must carry a timestamp.
+        After the batch is absorbed, the recompute planner re-resolves
+        every dirty object under the current weights, so reads after
+        ``ingest`` returns are always fresh.  Emits one ``ingest``
+        trace record per call when tracing.
+        """
+        started = time.perf_counter()
+        store = self._store
+        k_before = store.n_sources
+        absorbed = 0
+        new_objects = 0
+        sealed = 0
+        with activate(self.profiler):
+            with span(self.profiler, "ingest"):
+                for item in claims:
+                    claim = as_claim(item)
+                    if claim.timestamp is None:
+                        raise ValueError(
+                            "claims need timestamps to drive window "
+                            "sealing; got None for object "
+                            f"{claim.object_id!r}"
+                        )
+                    obj, created = store.add(claim)
+                    absorbed += 1
+                    if created:
+                        new_objects += 1
+                        stamp = float(claim.timestamp)
+                        if (self._sealed_high is not None
+                                and stamp <= self._sealed_high):
+                            # Late object in a sealed time range: dirty
+                            # only; weights are never rewritten.
+                            pass
+                        else:
+                            self._pending.setdefault(
+                                stamp, []).append(obj)
+                            sealed += self._seal_ready()
+            dirty_after = len(store.dirty)
+            with span(self.profiler, "recompute"):
+                recomputed = self._recompute_dirty()
+        elapsed = time.perf_counter() - started
+        self._totals["ingested_claims"] += absorbed
+        self._totals["recomputed_objects"] += recomputed
+        report = IngestReport(
+            ingested_claims=absorbed,
+            new_objects=new_objects,
+            new_sources=store.n_sources - k_before,
+            windows_sealed=sealed,
+            dirty_objects=dirty_after,
+            recomputed_objects=recomputed,
+            elapsed_seconds=elapsed,
+        )
+        if self._tracing():
+            self.tracer.emit(ingest_record(
+                ingested_claims=report.ingested_claims,
+                new_objects=report.new_objects,
+                new_sources=report.new_sources,
+                windows_sealed=report.windows_sealed,
+                dirty_objects=report.dirty_objects,
+                recomputed_objects=report.recomputed_objects,
+                elapsed_seconds=elapsed,
+            ))
+        return report
+
+    def flush(self) -> int:
+        """Seal every pending window (end-of-stream or checkpointing).
+
+        Returns how many windows were sealed.  After ``ingest`` of a
+        whole stream plus ``flush``, the service state matches a batch
+        :func:`~repro.streaming.icrh.icrh` run over the same stream.
+        """
+        sealed = 0
+        with activate(self.profiler):
+            while self._pending:
+                window_ts = sorted(self._pending)[:self.window]
+                self._seal(window_ts)
+                sealed += 1
+        return sealed
+
+    def _seal_ready(self) -> int:
+        """Seal windows while more than ``window`` timestamps pend."""
+        sealed = 0
+        while len(self._pending) > self.window:
+            window_ts = sorted(self._pending)[:self.window]
+            self._seal(window_ts)
+            sealed += 1
+        return sealed
+
+    def _seal(self, window_ts) -> None:
+        """Run one Algorithm-2 chunk step over the window's objects."""
+        objects: list[int] = []
+        for stamp in sorted(window_ts):
+            objects.extend(self._pending.pop(stamp))
+        indices = np.asarray(objects, dtype=np.int64)
+        chunk = self._store.dataset_for(indices)
+        truths = self._model.partial_fit(chunk)
+        self._cache.ensure(self._store.n_objects)
+        self._cache.store(indices, truths.columns,
+                          version=self._model.state.epoch)
+        # Window members are freshly resolved; anything else stays
+        # dirty for the planner.
+        self._store.dirty.difference_update(objects)
+        high = float(max(window_ts))
+        self._sealed_high = (high if self._sealed_high is None
+                             else max(self._sealed_high, high))
+        self._totals["windows_sealed"] += 1
+
+    def _recompute_dirty(self) -> int:
+        """Drain the dirty set through the planner; returns how many
+        objects were re-resolved."""
+        if not self._store.dirty:
+            return 0
+        plan = self._planner.plan(self._store.dirty,
+                                  self._store.n_objects)
+        if plan.scope == "none":
+            return 0
+        self._resolve_into_cache(plan.object_indices)
+        self._store.dirty.clear()
+        return plan.n_objects
+
+    def _resolve_into_cache(self, indices: np.ndarray) -> None:
+        """Re-resolve ``indices`` under current weights into the cache."""
+        columns = resolve_truths(self._store, indices,
+                                 self._current_weights(), self._losses)
+        self._cache.ensure(self._store.n_objects)
+        self._cache.store(indices, columns,
+                          version=self._model.state.epoch)
+
+    def recompute_all(self) -> int:
+        """Re-resolve *every* object under the current weights.
+
+        The full-recompute oracle the dirty-set path is tested
+        against; also useful to refresh chunk-final truths after the
+        weights have drifted.  Returns how many objects were resolved.
+        """
+        if self._store.n_objects == 0:
+            return 0
+        indices = np.arange(self._store.n_objects, dtype=np.int64)
+        self._resolve_into_cache(indices)
+        self._store.dirty.clear()
+        return int(indices.size)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get_truth(self, object_ids: Iterable) -> TruthTable:
+        """Current truths for ``object_ids`` (cache-served).
+
+        Unknown ids raise ``KeyError``.  Objects with no cache entry or
+        with un-recomputed dirty claims are resolved on demand under
+        the current weights (a cache miss); everything else is a warm
+        hit.  Emits one ``read`` trace record per call when tracing.
+        """
+        started = time.perf_counter()
+        ids = list(object_ids)
+        store = self._store
+        indices = np.fromiter(
+            (store.object_position(o) for o in ids),
+            dtype=np.int64, count=len(ids),
+        )
+        self._cache.ensure(store.n_objects)
+        with activate(self.profiler):
+            with span(self.profiler, "read"):
+                if ids:
+                    stale = np.fromiter(
+                        (int(i) in store.dirty for i in indices),
+                        dtype=bool, count=len(ids),
+                    )
+                    miss_mask = (self._cache.versions(indices) < 0) | stale
+                    misses = np.unique(indices[miss_mask])
+                    if misses.size:
+                        self._resolve_into_cache(misses)
+                        store.dirty.difference_update(
+                            int(i) for i in misses)
+                else:
+                    miss_mask = np.zeros(0, dtype=bool)
+                columns = self._cache.columns_at(indices)
+        table = TruthTable(
+            schema=self.schema,
+            object_ids=ids,
+            columns=columns,
+            codecs=store.codecs(),
+        )
+        hits = int((~miss_mask).sum())
+        misses_n = len(ids) - hits
+        self._totals["read_objects"] += len(ids)
+        self._totals["cache_hits"] += hits
+        self._totals["cache_misses"] += misses_n
+        if self._tracing():
+            self.tracer.emit(read_record(
+                read_objects=len(ids),
+                cache_hits=hits,
+                cache_misses=misses_n,
+                cache_hit_rate=hits / len(ids) if ids else 1.0,
+                elapsed_seconds=time.perf_counter() - started,
+            ))
+        return table
+
+    def get_weights(self) -> np.ndarray:
+        """Current per-source weights, aligned with :attr:`source_ids`.
+
+        Sources not yet covered by a sealed window carry the
+        Algorithm-2 line-1 weight of 1.
+        """
+        return self._current_weights()
+
+    def weights_by_source(self) -> dict:
+        """Weights keyed by source id (convenience for reporting)."""
+        return dict(zip(self._store.source_ids, self._current_weights()))
+
+    def metrics(self) -> dict:
+        """Serving counters: sizes, dirty set, cache hit rate."""
+        hits = self._totals["cache_hits"]
+        misses = self._totals["cache_misses"]
+        reads = hits + misses
+        return {
+            "n_sources": self._store.n_sources,
+            "n_objects": self._store.n_objects,
+            "n_claims": self._store.n_claims(),
+            "windows_sealed": self._totals["windows_sealed"],
+            "pending_timestamps": len(self._pending),
+            "dirty_objects": len(self._store.dirty),
+            "cached_objects": self._cache.n_cached(),
+            "ingested_claims": self._totals["ingested_claims"],
+            "recomputed_objects": self._totals["recomputed_objects"],
+            "read_objects": self._totals["read_objects"],
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": hits / reads if reads else 1.0,
+        }
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def snapshot(self, directory) -> None:
+        """Persist the full service state under ``directory``.
+
+        Writes the claim store via the sparse
+        :func:`repro.data.io.save_dataset` layout, the numeric state
+        (accumulators, weights, history, truth cache) as ``state.npz``,
+        and the bookkeeping (config, window state, counters) as
+        ``service.json``.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_dataset(self._store.to_claims_matrix(), directory)
+        state = self._model.state
+        self._cache.ensure(self._store.n_objects)
+        history = (state.weight_history() if state.history_length
+                   else np.zeros((0, state.n_sources)))
+        arrays = {
+            "accumulated": state.accumulated.copy(),
+            "counts": state.counts.copy(),
+            "weights": state.weights.copy(),
+            "weight_history": history,
+            "cache_versions": self._cache.all_versions(),
+        }
+        for m, column in enumerate(self._cache.full_columns()):
+            arrays[f"cache_col{m}"] = column
+        np.savez(directory / "state.npz", **arrays)
+        meta = {
+            "snapshot_schema": SNAPSHOT_SCHEMA,
+            "window": self.window,
+            "config": _config_to_dict(self.config),
+            "n_state_sources": state.n_sources,
+            "epoch": state.epoch,
+            "chunks_seen": self._model.chunks_seen,
+            "window_advances": self._model.window_advances,
+            "decay_applications": self._model.decay_applications,
+            "sealed_high": self._sealed_high,
+            "pending": [[stamp, objs]
+                        for stamp, objs in self._pending.items()],
+            "dirty": sorted(int(i) for i in self._store.dirty),
+            "totals": self._totals,
+        }
+        (directory / "service.json").write_text(json.dumps(meta, indent=2))
+
+    @classmethod
+    def restore(cls, directory, *, tracer: Tracer | None = None,
+                profiler: Profiler | None = None) -> "TruthService":
+        """Rebuild a service from a :meth:`snapshot` directory."""
+        directory = Path(directory)
+        meta = json.loads((directory / "service.json").read_text())
+        if meta.get("snapshot_schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported snapshot_schema "
+                f"{meta.get('snapshot_schema')!r} in {directory}"
+            )
+        matrix = load_dataset(directory)
+        service = cls(
+            matrix.schema,
+            window=int(meta["window"]),
+            config=_config_from_dict(meta["config"]),
+            codecs=matrix.codecs(),
+            tracer=tracer,
+            profiler=profiler,
+        )
+        service._store = ClaimStore.from_claims_matrix(matrix)
+        bundle = np.load(directory / "state.npz")
+        k = int(meta["n_state_sources"])
+        if k:
+            padded = bundle["weight_history"]
+            history = []
+            for row in padded:
+                observed = np.flatnonzero(~np.isnan(row))
+                length = int(observed[-1]) + 1 if observed.size else 0
+                history.append(row[:length])
+            service._model.state.load(
+                service._store.source_ids[:k],
+                bundle["accumulated"], bundle["counts"],
+                bundle["weights"], history, epoch=int(meta["epoch"]),
+            )
+        service._model._chunks_seen = int(meta["chunks_seen"])
+        service._model.window_advances = int(meta["window_advances"])
+        service._model.decay_applications = int(
+            meta["decay_applications"])
+        versions = bundle["cache_versions"]
+        columns = [bundle[f"cache_col{m}"]
+                   for m in range(len(matrix.schema))]
+        service._cache.load(columns, versions)
+        service._cache.ensure(service._store.n_objects)
+        sealed_high = meta.get("sealed_high")
+        service._sealed_high = (None if sealed_high is None
+                                else float(sealed_high))
+        service._pending = {
+            float(stamp): [int(i) for i in objs]
+            for stamp, objs in meta.get("pending", [])
+        }
+        service._store.dirty = {int(i) for i in meta.get("dirty", [])}
+        service._totals.update(meta.get("totals", {}))
+        return service

@@ -1,0 +1,122 @@
+"""``repro serve-sim``: drive a TruthService over a simulated stream.
+
+Replays the weather workload claim by claim through the serving stack —
+batched ingests, interleaved random truth reads — and prints the
+serving counters the run produced.  This is the CLI surface of the
+serving layer: the same loop a long-lived deployment would run, but
+against a generated stream, so ingest/read tracing, the dirty-set
+planner and snapshotting can all be exercised (and traced) from a
+terminal::
+
+    python -m repro serve-sim --cities 8 --days 30 --reads 5
+    python -m repro serve-sim --trace serve.jsonl --snapshot state/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..observability import JsonlTracer
+from .icrh import ICRHConfig
+from .service import TruthService, iter_dataset_claims
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """Build the ``serve-sim`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="crh-repro serve-sim",
+        description=("Simulate a truth-serving session: stream the "
+                     "weather workload through TruthService with "
+                     "interleaved reads"),
+    )
+    parser.add_argument("--cities", type=int, default=8,
+                        help="weather cities in the stream (default 8)")
+    parser.add_argument("--days", type=int, default=30,
+                        help="stream days (default 30)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload random seed (default 0)")
+    parser.add_argument("--window", type=int, default=2,
+                        help="timestamps per sealed window (default 2)")
+    parser.add_argument("--batch", type=int, default=500,
+                        help="claims per ingest call (default 500)")
+    parser.add_argument("--reads", type=int, default=3,
+                        help="random single-object reads between "
+                             "ingest batches (default 3)")
+    parser.add_argument("--decay", type=float, default=1.0,
+                        help="I-CRH decay factor alpha (default 1.0)")
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="write ingest/read JSONL trace records "
+                             "to this file")
+    parser.add_argument("--snapshot", type=Path, default=None,
+                        help="snapshot the final service state into "
+                             "this directory")
+    return parser
+
+
+def serve_sim_main(argv: list[str] | None = None) -> int:
+    """Run the serving simulation; returns the process exit code."""
+    from ..datasets import WeatherConfig, generate_weather_dataset
+
+    args = build_arg_parser().parse_args(argv)
+    config = WeatherConfig(n_cities=args.cities, n_days=args.days,
+                           seed=args.seed)
+    dataset = generate_weather_dataset(config).dataset
+    claims = list(iter_dataset_claims(dataset))
+    rng = np.random.default_rng(args.seed)
+    tracer = JsonlTracer(args.trace) if args.trace is not None else None
+    service = TruthService(
+        dataset.schema, window=args.window,
+        config=ICRHConfig(decay=args.decay),
+        codecs=dataset.codecs(), tracer=tracer,
+    )
+    print(f"serve-sim: {len(claims):,} claims over {args.days} days, "
+          f"{dataset.n_objects} objects, window={args.window}, "
+          f"batch={args.batch}")
+    started = time.perf_counter()
+    try:
+        for start in range(0, len(claims), args.batch):
+            report = service.ingest(claims[start:start + args.batch])
+            if report.windows_sealed:
+                print(f"  t={start + report.ingested_claims:>7,} claims: "
+                      f"sealed {report.windows_sealed} window(s), "
+                      f"recomputed {report.recomputed_objects} object(s)")
+            known = service.object_ids
+            for object_id in rng.choice(len(known),
+                                        min(args.reads, len(known)),
+                                        replace=False):
+                service.get_truth([known[int(object_id)]])
+        service.flush()
+    finally:
+        if tracer is not None:
+            tracer.close()
+    elapsed = time.perf_counter() - started
+    metrics = service.metrics()
+    rate = metrics["ingested_claims"] / elapsed if elapsed else 0.0
+    print(f"ingested {metrics['ingested_claims']:,} claims in "
+          f"{elapsed:.2f} s ({rate:,.0f} claims/sec), sealed "
+          f"{metrics['windows_sealed']} windows")
+    print(f"reads: {metrics['read_objects']:,} objects, cache hit rate "
+          f"{metrics['cache_hit_rate']:.1%}")
+    print(f"state: {metrics['n_sources']} sources, "
+          f"{metrics['n_objects']:,} objects, "
+          f"{metrics['dirty_objects']} dirty, "
+          f"{metrics['cached_objects']:,} cached")
+    weights = service.weights_by_source()
+    top = sorted(weights, key=weights.get, reverse=True)[:3]
+    print("top sources: "
+          + ", ".join(f"{s}={weights[s]:.3f}" for s in top))
+    if args.snapshot is not None:
+        service.snapshot(args.snapshot)
+        print(f"snapshot written to {args.snapshot}/")
+    if args.trace is not None:
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(serve_sim_main())

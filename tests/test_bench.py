@@ -45,6 +45,7 @@ class TestSuite:
             "backend/mmap",
             "fig7/scaling_point",
             "streaming/icrh_chunks",
+            "serving/ingest_read",
             "baseline/median-sparse",
             "baseline/catd-process-w2",
             "baseline/truthfinder-sparse",

@@ -57,3 +57,26 @@ class TestDispatch:
                 "ablation-finegrained",
             }
         assert set(_EXPERIMENTS) == expected
+
+
+class TestServeSim:
+    def test_serve_sim_runs(self, capsys):
+        assert main(["serve-sim", "--cities", "2", "--days", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "serve-sim:" in out
+        assert "claims/sec" in out
+        assert "cache hit rate" in out
+
+    def test_serve_sim_trace_and_snapshot(self, capsys, tmp_path):
+        trace = tmp_path / "serve.jsonl"
+        snap = tmp_path / "state"
+        assert main(["serve-sim", "--cities", "2", "--days", "4",
+                     "--trace", str(trace),
+                     "--snapshot", str(snap)]) == 0
+        assert trace.exists()
+        assert (snap / "service.json").exists()
+        assert (snap / "claims.npz").exists()
+
+    def test_serve_sim_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "serve-sim" in capsys.readouterr().out

@@ -183,3 +183,94 @@ class TestFullStream:
         icrh(generated.dataset, window=1)
         stream_seconds = time.perf_counter() - started
         assert stream_seconds < batch_seconds
+
+
+class TestResultMetadata:
+    """icrh() results carry backend provenance and honest convergence."""
+
+    def test_backend_stamped(self, small_weather):
+        from repro.engine import BACKEND_NAMES
+
+        result = icrh(small_weather.dataset, window=2).result
+        assert result.backend in BACKEND_NAMES
+        assert isinstance(result.backend_reason, str)
+        assert result.backend_reason
+
+    def test_explicit_backend_respected(self, small_weather):
+        result = icrh(small_weather.dataset, window=2,
+                      config=ICRHConfig(backend="sparse")).result
+        assert result.backend == "sparse"
+        assert "explicit" in result.backend_reason
+
+    def test_converged_reflects_final_weight_delta(self, small_weather):
+        dataset = small_weather.dataset
+        loose = icrh(dataset, window=2, config=ICRHConfig(tol=1e9))
+        assert loose.result.converged
+        # An impossible tolerance: the final chunk still moves weights.
+        strict = icrh(dataset, window=2, config=ICRHConfig(tol=0.0))
+        assert not strict.result.converged
+
+    def test_last_weight_delta_exposed(self, small_weather):
+        model = IncrementalCRH()
+        assert model.last_weight_delta is None
+        chunk = next(chunk_by_window(small_weather.dataset, 1))
+        model.partial_fit(chunk.dataset)
+        assert model.last_weight_delta is not None
+        assert model.last_weight_delta >= 0.0
+
+    def test_invalid_tol(self):
+        with pytest.raises(ValueError, match="tol"):
+            ICRHConfig(tol=-1.0)
+
+
+class TestDecayUnderAbsence:
+    """Late and absent sources under decay (Algorithm 2 line 4)."""
+
+    def test_absent_source_accumulator_keeps_decaying(self, small_weather):
+        dataset = small_weather.dataset
+        chunks = list(chunk_by_window(dataset, 1))
+        model = IncrementalCRH(ICRHConfig(decay=0.5))
+        model.partial_fit(chunks[0].dataset)
+        k = dataset.n_sources
+        acc_before = model.state.accumulated.copy()
+        cnt_before = model.state.counts.copy()
+        keep = np.arange(k - 1)   # drop the last source entirely
+        model.partial_fit(chunks[1].dataset.select_sources(keep))
+        assert model.state.accumulated[k - 1] == acc_before[k - 1] * 0.5
+        assert model.state.counts[k - 1] == cnt_before[k - 1] * 0.5
+
+    def test_absent_source_reenters_with_history(self, small_weather):
+        """A source that skips a chunk re-enters against its decayed
+        accumulator, not a fresh weight-1 registration."""
+        dataset = small_weather.dataset
+        chunks = list(chunk_by_window(dataset, 1))
+        k = dataset.n_sources
+        keep = np.arange(k - 1)
+        model = IncrementalCRH(ICRHConfig(decay=0.5))
+        model.partial_fit(chunks[0].dataset)
+        model.partial_fit(chunks[1].dataset.select_sources(keep))
+        decayed = model.state.accumulated[k - 1]
+        model.partial_fit(chunks[2].dataset)   # the source is back
+        assert len(model.source_ids) == k      # no duplicate registration
+        # Its accumulator continued from the decayed value.
+        assert model.state.accumulated[k - 1] != decayed
+        history = model.weight_history
+        assert history.shape == (3, k)
+        assert not np.isnan(history[:, k - 1]).any()
+
+    def test_weight_history_nan_padding_out_of_order(
+            self, small_weather, tiny_dataset):
+        """Sources arriving out of order pad history in first-appearance
+        order: NaN before a source existed, finite ever after."""
+        model = IncrementalCRH()
+        model.partial_fit(tiny_dataset)        # sources a, b, c
+        chunk = next(chunk_by_window(small_weather.dataset, 1))
+        model.partial_fit(chunk.dataset)       # 9 weather sources join
+        model.partial_fit(tiny_dataset)        # early sources again
+        k = len(model.source_ids)
+        assert model.source_ids[:3] == tuple(tiny_dataset.source_ids)
+        history = model.weight_history
+        assert history.shape == (3, k)
+        assert np.isnan(history[0, 3:]).all()      # pre-arrival chunks
+        assert not np.isnan(history[0, :3]).any()
+        assert not np.isnan(history[1:]).any()     # never NaN again

@@ -129,3 +129,41 @@ def test_profiling_disabled_overhead(benchmark):
     # generous noise margin: the wrapper is nanoseconds on a
     # multi-millisecond kernel body
     assert wrapped < raw * 1.2 + 0.005
+
+
+def test_metrics_disabled_overhead(benchmark):
+    """A disabled MetricsRegistry hands out shared null instruments:
+    per-operation cost must stay within noise of an enabled registry's
+    real instruments (one no-op method call vs a float update), so
+    instrumented hot paths are safe to leave in place."""
+    import time
+
+    from repro.observability.metrics import MetricsRegistry
+
+    rounds = 200_000
+    enabled = MetricsRegistry()
+    disabled = MetricsRegistry(enabled=False)
+
+    def per_op(registry) -> float:
+        counter = registry.counter("ingested_claims")
+        histogram = registry.histogram("ingest_seconds")
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            for _ in range(rounds):
+                counter.inc()
+                histogram.observe(1e-4)
+            best = min(best, time.perf_counter() - started)
+        return best / rounds
+
+    def measure():
+        return per_op(disabled), per_op(enabled)
+
+    off, on = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nper-op cost: disabled {off * 1e9:.0f} ns vs enabled "
+          f"{on * 1e9:.0f} ns")
+    assert disabled.snapshot() == {"counters": [], "gauges": [],
+                                   "histograms": []}
+    # the null instruments must not cost more than the real ones (plus
+    # a generous absolute floor for timer noise)
+    assert off < on * 1.5 + 1e-6

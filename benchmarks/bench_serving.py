@@ -17,7 +17,12 @@ on the weather stream and enforces the serving acceptance bars:
 * **source churn** (this PR): a stream that keeps introducing new
   sources must register them in amortized O(1) — buffer reallocations
   stay logarithmic in the source count (the regression guard for the
-  old O(K^2) ``np.append`` registration).
+  old O(K^2) ``np.append`` registration);
+* **metrics overhead** (this PR): ingest throughput with the live
+  :class:`~repro.observability.MetricsRegistry` enabled must stay
+  within 5% of a metrics-disabled replay — asserted only at full
+  scale, where the per-batch instrument updates are amortized over
+  real sealing/recompute work.
 
 Runs two ways:
 
@@ -52,6 +57,8 @@ from repro.streaming import (
 WINDOW = 2
 BATCH = 1_000
 UPDATE_SPEEDUP_BAR = 10.0
+#: metrics-on ingest may cost at most 5% over metrics-off
+METRICS_OVERHEAD_BAR = 1.05
 READ_SAMPLES = 200
 #: distinct sources the churn case drips into the stream
 CHURN_SOURCES = 2_000
@@ -126,6 +133,39 @@ def measure_single_update(service, replay_seconds) -> tuple:
     return seconds, replay_seconds / seconds
 
 
+def measure_metrics_overhead(dataset, claims) -> dict:
+    """Full-stream ingest with the registry enabled vs disabled.
+
+    Best-of-2 wall seconds per mode (fresh service each round), so one
+    scheduler hiccup cannot fake a regression.  Returns both timings
+    plus their ratio — the serving acceptance bar
+    (:data:`METRICS_OVERHEAD_BAR`) caps it at full scale.
+    """
+    from repro.observability import MetricsRegistry
+
+    def replay_with(enabled: bool) -> float:
+        best = math.inf
+        for _ in range(2):
+            service = TruthService(
+                dataset.schema, window=WINDOW, codecs=dataset.codecs(),
+                metrics=MetricsRegistry(enabled=enabled),
+            )
+            started = time.perf_counter()
+            for start in range(0, len(claims), BATCH):
+                service.ingest(claims[start:start + BATCH])
+            service.flush()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    off_seconds = replay_with(False)
+    on_seconds = replay_with(True)
+    return {
+        "metrics_on_seconds": on_seconds,
+        "metrics_off_seconds": off_seconds,
+        "ratio": on_seconds / off_seconds,
+    }
+
+
 def run_source_churn() -> dict:
     """Many-new-sources ingest: growth must stay amortized.
 
@@ -189,10 +229,21 @@ def run_comparison() -> dict:
           f"({churn['n_sources']} new sources, "
           f"{churn['growth_events']} reallocations)")
 
+    overhead = measure_metrics_overhead(dataset, claims)
+    print(f"  metrics overhead         on "
+          f"{overhead['metrics_on_seconds']:>6.2f} s / off "
+          f"{overhead['metrics_off_seconds']:>6.2f} s "
+          f"({(overhead['ratio'] - 1) * 100:+.1f}%)")
+
     if not _smoke():
         assert speedup >= UPDATE_SPEEDUP_BAR, (
             f"single-object update only {speedup:.1f}x faster than full "
             f"replay; acceptance bar is {UPDATE_SPEEDUP_BAR}x"
+        )
+        assert overhead["ratio"] <= METRICS_OVERHEAD_BAR, (
+            f"metrics-enabled ingest is {(overhead['ratio'] - 1) * 100:.1f}% "
+            f"slower than metrics-off; acceptance bar is "
+            f"{(METRICS_OVERHEAD_BAR - 1) * 100:.0f}%"
         )
     return {
         "claims_per_sec": rate,
@@ -201,6 +252,7 @@ def run_comparison() -> dict:
         "latency": latency,
         "update_speedup": speedup,
         "churn": churn,
+        "metrics_overhead": overhead,
     }
 
 

@@ -277,6 +277,34 @@ def _run_serving(payload, profiler: MemoryProfiler):
         return service.get_truth(payload["object_ids"])
 
 
+def _run_serving_metrics_overhead(payload, profiler: MemoryProfiler):
+    """Ingest the stream twice: metrics registry enabled, then disabled.
+
+    The two passes run under sibling phases (``run/metrics_on`` /
+    ``run/metrics_off``), so one BENCH snapshot carries both timings
+    side by side — the registry's serving-path overhead is their ratio
+    (``benchmarks/bench_serving.py`` asserts the <5% bar at full
+    scale).
+    """
+    from ..observability.metrics import MetricsRegistry
+
+    claims = payload["claims"]
+    sealed = {}
+    with activate(profiler), profiler.phase("run"):
+        for label, registry in (
+                ("metrics_on", MetricsRegistry()),
+                ("metrics_off", MetricsRegistry(enabled=False))):
+            service = TruthService(payload["schema"], window=2,
+                                   codecs=payload["codecs"],
+                                   metrics=registry)
+            with profiler.phase(label):
+                for start in range(0, len(claims), _SERVING_BATCH):
+                    service.ingest(claims[start:start + _SERVING_BATCH])
+                service.flush()
+            sealed[label] = service.metrics()["windows_sealed"]
+    return sealed
+
+
 # -- the pinned suite ---------------------------------------------------
 
 #: every case ``python -m repro bench`` measures, in execution order
@@ -347,6 +375,13 @@ SUITE: tuple[BenchCase, ...] = (
                     "over the weather stream",
         build=_serving_payload,
         run=_run_serving,
+    ),
+    BenchCase(
+        name="serving/metrics_overhead",
+        description="TruthService ingest with the metrics registry "
+                    "enabled vs disabled",
+        build=_serving_payload,
+        run=_run_serving_metrics_overhead,
     ),
     BenchCase(
         name="baseline/median-sparse",

@@ -174,6 +174,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "serve-sim":
         from .streaming.sim import serve_sim_main
         return serve_sim_main(argv[1:])
+    if argv and argv[0] == "top":
+        from .observability.top import top_main
+        return top_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (description, _) in _EXPERIMENTS.items():
@@ -185,6 +188,8 @@ def main(argv: list[str] | None = None) -> int:
         print("trace    trace tools (trace summarize run.jsonl)")
         print("serve-sim  stream the weather workload through the "
               "truth-serving layer")
+        print("top      live metrics dashboard over an exporter "
+              "snapshot file (also: top --check file.prom)")
         return 0
     if args.experiment == "profile":
         _run_profile(args.seed, args.output)

@@ -25,6 +25,11 @@ from ..data.schema import PropertyKind
 from ..data.table import TruthTable
 from ..engine import BACKEND_NAMES, BackendExecutionError, make_backend
 from ..observability import iteration_record, run_finished, run_started
+from ..observability.metrics import (
+    MetricsRegistry,
+    activate_metrics,
+    active_registry,
+)
 from ..observability.profiling import Profiler, activate, span
 from ..observability.tracer import Tracer
 from .initialization import initializer_by_name
@@ -170,7 +175,9 @@ class CRHSolver:
 
     # ------------------------------------------------------------------
     def fit(self, dataset, tracer: Tracer | None = None,
-            profiler: Profiler | None = None) -> TruthDiscoveryResult:
+            profiler: Profiler | None = None,
+            metrics: MetricsRegistry | None = None
+            ) -> TruthDiscoveryResult:
         """Run Algorithm 1 on ``dataset`` and return truths + weights.
 
         ``dataset`` may be a dense
@@ -193,6 +200,16 @@ class CRHSolver:
         record is ever constructed, so the uninstrumented hot path is
         unchanged and results are bit-identical.
 
+        Pass a :class:`~repro.observability.MetricsRegistry` (or
+        activate one via
+        :func:`~repro.observability.activate_metrics`, which ``fit``
+        falls back to) to collect live metrics: an
+        ``iteration_seconds`` histogram labeled with the executing
+        backend, a ``degradation_events`` counter labeled with the
+        backend that failed, and — for the process backend — per-worker
+        ``worker_tasks`` / ``worker_busy_seconds`` series merged from
+        the workers' partial registries.
+
         With ``backend="process"`` the truth and deviation passes run on
         a shared-memory worker pool; with ``backend="mmap"`` they run
         chunk-at-a-time over memory-mapped claims.  Any runner failure
@@ -209,13 +226,16 @@ class CRHSolver:
         config = self.config
         prof = (profiler if profiler is not None and profiler.enabled
                 else None)
+        registry = metrics if metrics is not None else active_registry()
+        reg = (registry if registry is not None and registry.enabled
+               else None)
         source = dataset
         backend = None
         owns_backend = False
         runner = None
         degraded_reason: str | None = None
         try:
-            with activate(prof):
+            with activate(prof), activate_metrics(reg):
                 with span(prof, "setup"):
                     backend = make_backend(source, config.backend,
                                            n_workers=config.n_workers,
@@ -236,6 +256,9 @@ class CRHSolver:
                                 f"{backend.name} backend degraded to "
                                 f"inline sparse execution: {error}"
                             )
+                            if reg is not None:
+                                reg.counter("degradation_events",
+                                            backend=backend.name).inc()
                             runner = None
 
                 def degrade(error: BackendExecutionError) -> None:
@@ -250,6 +273,9 @@ class CRHSolver:
                             f"{backend.name} backend failed mid-run; "
                             f"finishing inline on sparse claims: {error}"
                         )
+                    if reg is not None:
+                        reg.counter("degradation_events",
+                                    backend=backend.name).inc()
                     runner = None
                     backend.close()
 
@@ -287,6 +313,11 @@ class CRHSolver:
                     # the sparse claim storage from the start.
                     backend_name = "sparse"
                     backend_reason = degraded_reason
+                iteration_hist = (
+                    reg.histogram("iteration_seconds",
+                                  backend=backend_name)
+                    if reg is not None else None
+                )
                 if tracing:
                     tracer.emit(run_started(
                         "CRH",
@@ -306,6 +337,8 @@ class CRHSolver:
                 # and carried over.
                 aggregated: np.ndarray | None = None
                 for iterations in range(1, config.max_iterations + 1):
+                    iter_started = (time.perf_counter()
+                                    if iteration_hist is not None else 0.0)
                     step_started = time.perf_counter() if tracing else 0.0
                     # Step I (Eq. 2): weights from deviations under
                     # current truths.
@@ -340,6 +373,9 @@ class CRHSolver:
                                            - step_started),
                             weight_seconds=weight_seconds,
                         ))
+                    if iteration_hist is not None:
+                        iteration_hist.observe(
+                            time.perf_counter() - iter_started)
                     if criterion.update(objective):
                         converged = True
                         break
@@ -427,6 +463,7 @@ def states_to_truth_table(dataset,
 
 def crh(dataset, tracer: Tracer | None = None,
         profiler: Profiler | None = None,
+        metrics: MetricsRegistry | None = None,
         **config_overrides) -> TruthDiscoveryResult:
     """One-call CRH with optional config overrides and instrumentation.
 
@@ -434,6 +471,8 @@ def crh(dataset, tracer: Tracer | None = None,
     >>> result = crh(dataset, backend="sparse")       # CSR execution
     >>> result = crh(dataset, tracer=MemoryTracer())  # traced run
     >>> result = crh(dataset, profiler=MemoryProfiler())  # profiled run
+    >>> result = crh(dataset, metrics=MetricsRegistry())  # live metrics
     """
     config = CRHConfig(**config_overrides) if config_overrides else CRHConfig()
-    return CRHSolver(config).fit(dataset, tracer=tracer, profiler=profiler)
+    return CRHSolver(config).fit(dataset, tracer=tracer, profiler=profiler,
+                                 metrics=metrics)

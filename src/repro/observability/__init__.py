@@ -32,8 +32,47 @@ aggregates flush into the trace as ``profile`` records, which
 series, counter totals, and a human-readable ``summary()``.  The field
 glossary :data:`METRIC_FIELDS` maps every emitted field to its meaning
 and paper equation; ``docs/OBSERVABILITY.md`` renders it.
+
+The third leg is *live* metrics: a :class:`MetricsRegistry` of
+counters, gauges and fixed-bucket histograms threaded through
+:class:`~repro.streaming.service.TruthService`, the solver and the
+execution backends (:func:`activate_metrics` /
+:func:`active_registry` mirror the profiler's activation pattern;
+the process backend merges per-worker partial registries into the
+parent's).  On top sit :class:`HealthCheck` SLO rules
+(:func:`parse_rule`, :data:`DEFAULT_SERVING_RULES`), the
+:class:`MetricsExporter` (Prometheus text exposition via
+:func:`write_prometheus`, JSONL snapshot streams read back by
+:func:`read_latest_snapshot`), and the exposition tooling
+(:func:`validate_exposition`, :func:`exposition_metric_names`,
+:func:`flatten_snapshot`) behind the ``repro top`` dashboard and the
+CI metrics smoke job.
 """
 
+from .export import (
+    MetricsExporter,
+    exposition_metric_names,
+    flatten_snapshot,
+    read_latest_snapshot,
+    validate_exposition,
+    write_prometheus,
+)
+from .health import (
+    DEFAULT_SERVING_RULES,
+    HealthCheck,
+    HealthReport,
+    SLORule,
+    parse_rule,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    activate_metrics,
+    active_registry,
+    default_seconds_buckets,
+)
 from .profiling import (
     JsonlProfiler,
     MemoryProfiler,
@@ -68,30 +107,48 @@ from .tracer import (
 )
 
 __all__ = [
+    "Counter",
+    "DEFAULT_SERVING_RULES",
+    "Gauge",
+    "HealthCheck",
+    "HealthReport",
+    "Histogram",
     "JsonlProfiler",
     "JsonlTracer",
     "METRIC_FIELDS",
     "MemoryProfiler",
     "MemoryTracer",
+    "MetricsExporter",
+    "MetricsRegistry",
     "NullProfiler",
     "NullTracer",
     "Profiler",
     "RunReport",
     "SCHEMA_VERSION",
+    "SLORule",
     "Tracer",
     "activate",
+    "activate_metrics",
+    "active_registry",
     "append_record",
     "benchmark_record",
+    "default_seconds_buckets",
     "experiment_record",
+    "exposition_metric_names",
+    "flatten_snapshot",
     "ingest_record",
     "iteration_record",
     "mapreduce_job_record",
     "method_run_record",
+    "parse_rule",
     "profile_record",
+    "read_latest_snapshot",
     "read_record",
     "run_finished",
     "run_started",
     "span",
     "stream_chunk_record",
     "tracer_from_env",
+    "validate_exposition",
+    "write_prometheus",
 ]

@@ -27,10 +27,12 @@ import numpy as np
 #: dirty-set size, cache hit rate, recompute counts).
 SCHEMA_VERSION = 3
 
-#: Glossary of every field a trace record can carry: field name ->
-#: description, including the paper equation the measurement comes from.
-#: ``docs/OBSERVABILITY.md`` must name every key (enforced by
-#: ``tests/test_doc_coverage.py``).
+#: Glossary of every field a trace record can carry — and of every
+#: metric name the live :class:`~repro.observability.metrics.MetricsRegistry`
+#: registers (one shared vocabulary: a serving counter and its trace
+#: field use the same name) -> description, including the paper
+#: equation the measurement comes from.  ``docs/OBSERVABILITY.md`` must
+#: name every key (enforced by ``tests/test_doc_coverage.py``).
 METRIC_FIELDS: dict[str, str] = {
     "v": "trace schema version (SCHEMA_VERSION)",
     "event": "record type discriminator: run_start, iteration, chunk, "
@@ -122,7 +124,49 @@ METRIC_FIELDS: dict[str, str] = {
     "cache_misses": "read objects resolved on demand (no cache entry, "
                     "or invalidated by dirty claims)",
     "cache_hit_rate": "cache_hits / read_objects for the call (1.0 for "
-                      "an empty read)",
+                      "an empty read); over a whole run, lifetime hits "
+                      "/ lifetime reads",
+    "pending_timestamps": "distinct unsealed timestamps buffered for "
+                          "window sealing (a staleness signal: claims "
+                          "at these stamps have not reached an "
+                          "Algorithm-2 chunk step yet)",
+    "cached_objects": "objects holding a warm entry in the versioned "
+                      "truth cache",
+    "truth_version": "the weight epoch of the serving state: how many "
+                     "Algorithm-2 weight refreshes (Eq. 5) the cached "
+                     "truths are resolved under — truth-version churn "
+                     "is this gauge's rate of change",
+    "weight_entropy": "Shannon entropy (nats) of the normalized "
+                      "per-source weight distribution (Eq. 5 weights "
+                      "as probabilities); max log K means uniform "
+                      "reliability, a drop means the weights are "
+                      "concentrating on few sources",
+    "weight_drift": "max absolute per-source weight change at the most "
+                    "recent weight refresh (the serving-side "
+                    "weight_delta; a convergence-stall signal when it "
+                    "stops shrinking)",
+    "ingest_seconds": "latency histogram of TruthService.ingest batch "
+                      "calls, in wall seconds",
+    "read_seconds": "latency histogram of TruthService.get_truth "
+                    "calls, in wall seconds",
+    "seal_seconds": "latency histogram of window seals (one "
+                    "Algorithm-2 chunk step each), in wall seconds",
+    "iteration_seconds": "latency histogram of Algorithm 1 outer-loop "
+                         "iterations (one weight step + truth step + "
+                         "objective), labeled by execution backend",
+    "degradation_events": "times an execution backend degraded a run "
+                          "to inline sparse execution (setup failure "
+                          "or mid-run worker/chunk failure), labeled "
+                          "by the backend that failed",
+    "worker_tasks": "shard tasks a process-backend worker executed, "
+                    "labeled worker=<pid> (merged into the parent "
+                    "registry after every round)",
+    "worker_busy_seconds": "accumulated busy seconds inside a "
+                           "process-backend worker, labeled "
+                           "worker=<pid> and phase=truth|deviation",
+    "health_status": "SLO verdict of the health evaluator: 0 healthy, "
+                     "1 degraded, 2 unhealthy (exported alongside the "
+                     "registry by the metrics exporter)",
     "iterations": "total iterations (or chunks) the run performed",
     "converged": "whether the convergence criterion fired before the "
                  "iteration cap",

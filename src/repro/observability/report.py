@@ -18,13 +18,17 @@ import numpy as np
 
 from .tracer import read_jsonl
 
-#: run_end / mapreduce_job fields that accumulate across records
+#: run_end / mapreduce_job / serving fields that accumulate across
+#: records (per-batch serving counters on ``ingest``/``read`` records
+#: are additive, so they sum over every record carrying them)
 _COUNTER_FIELDS = (
     "map_tasks", "reduce_tasks", "map_input_records",
     "map_output_records", "shuffled_records", "reduce_output_records",
     "combiner_savings", "map_invocations", "reduce_invocations",
     "jobs_run", "side_file_reads", "side_file_writes",
     "window_advances", "decay_applications",
+    "ingested_claims", "windows_sealed", "recomputed_objects",
+    "read_objects", "cache_hits", "cache_misses",
 )
 
 
@@ -118,6 +122,37 @@ class RunReport:
                     totals[name] = totals.get(name, 0) + int(record[name])
         return totals
 
+    def serving_totals(self) -> dict:
+        """Serving activity totalled over ``ingest``/``read`` records.
+
+        Returns an empty dict when the trace carries no serving
+        records; otherwise ingest batches, total ingested claims,
+        windows sealed, recompute volume, reads, and the lifetime cache
+        hit rate (1.0 for a read-free trace).
+        """
+        ingests = self.events("ingest")
+        reads = self.events("read")
+        if not ingests and not reads:
+            return {}
+        hits = sum(r.get("cache_hits", 0) for r in reads)
+        read_objects = sum(r.get("read_objects", 0) for r in reads)
+        return {
+            "ingest_batches": len(ingests),
+            "ingested_claims": sum(r.get("ingested_claims", 0)
+                                   for r in ingests),
+            "windows_sealed": sum(r.get("windows_sealed", 0)
+                                  for r in ingests),
+            "recomputed_objects": sum(r.get("recomputed_objects", 0)
+                                      for r in ingests),
+            "read_calls": len(reads),
+            "read_objects": read_objects,
+            "cache_hits": hits,
+            "cache_misses": sum(r.get("cache_misses", 0)
+                                for r in reads),
+            "cache_hit_rate": (hits / read_objects
+                               if read_objects else 1.0),
+        }
+
     def simulated_seconds(self) -> float:
         """Total simulated cluster seconds across MapReduce job records."""
         return float(sum(r.get("simulated_seconds", 0.0)
@@ -196,6 +231,15 @@ class RunReport:
         chunks = self.chunks()
         if chunks:
             lines.append(f"stream: {len(chunks)} chunk(s) processed")
+        serving = self.serving_totals()
+        if serving:
+            lines.append(
+                f"serving: {serving['ingested_claims']} claim(s) "
+                f"ingested over {serving['ingest_batches']} batch(es), "
+                f"{serving['windows_sealed']} window(s) sealed, "
+                f"{serving['read_objects']} object(s) read "
+                f"({serving['cache_hit_rate']:.1%} cache hits)"
+            )
         jobs = self.events("mapreduce_job")
         if jobs:
             lines.append(

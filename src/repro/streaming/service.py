@@ -53,6 +53,7 @@ from ..data.records import Record
 from ..data.schema import DatasetSchema
 from ..data.table import TruthTable
 from ..observability import ingest_record, read_record
+from ..observability.metrics import MetricsRegistry
 from ..observability.profiling import Profiler, activate, span
 from ..observability.tracer import Tracer
 from .icrh import ICRHConfig, IncrementalCRH, losses_for_schema
@@ -210,7 +211,8 @@ class TruthService:
                  config: ICRHConfig | None = None, codecs=None,
                  tracer: Tracer | None = None,
                  profiler: Profiler | None = None,
-                 planner: RecomputePlanner | None = None) -> None:
+                 planner: RecomputePlanner | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.schema = schema
@@ -219,6 +221,7 @@ class TruthService:
         self.tracer = tracer
         self.profiler = (profiler if profiler is not None
                          and profiler.enabled else None)
+        self.registry = metrics if metrics is not None else MetricsRegistry()
         self._store = ClaimStore(schema, codecs=codecs)
         self._cache = TruthCache(schema)
         self._planner = planner or RecomputePlanner()
@@ -230,14 +233,16 @@ class TruthService:
         #: pending (unsealed) timestamps -> object indices, arrival order
         self._pending: dict[float, list[int]] = {}
         self._sealed_high: float | None = None
-        self._totals = {
-            "ingested_claims": 0,
-            "windows_sealed": 0,
-            "recomputed_objects": 0,
-            "read_objects": 0,
-            "cache_hits": 0,
-            "cache_misses": 0,
-        }
+        registry = self.registry
+        self._c_ingested = registry.counter("ingested_claims")
+        self._c_sealed = registry.counter("windows_sealed")
+        self._c_recomputed = registry.counter("recomputed_objects")
+        self._c_read = registry.counter("read_objects")
+        self._c_hits = registry.counter("cache_hits")
+        self._c_misses = registry.counter("cache_misses")
+        self._h_ingest = registry.histogram("ingest_seconds")
+        self._h_read = registry.histogram("read_seconds")
+        self._h_seal = registry.histogram("seal_seconds")
 
     # ------------------------------------------------------------------
     @property
@@ -338,8 +343,10 @@ class TruthService:
             with span(self.profiler, "recompute"):
                 recomputed = self._recompute_dirty()
         elapsed = time.perf_counter() - started
-        self._totals["ingested_claims"] += absorbed
-        self._totals["recomputed_objects"] += recomputed
+        self._c_ingested.inc(absorbed)
+        self._c_recomputed.inc(recomputed)
+        self._h_ingest.observe(elapsed)
+        self._update_gauges()
         report = IngestReport(
             ingested_claims=absorbed,
             new_objects=new_objects,
@@ -374,6 +381,7 @@ class TruthService:
                 window_ts = sorted(self._pending)[:self.window]
                 self._seal(window_ts)
                 sealed += 1
+        self._update_gauges()
         return sealed
 
     def _seal_ready(self) -> int:
@@ -387,6 +395,7 @@ class TruthService:
 
     def _seal(self, window_ts) -> None:
         """Run one Algorithm-2 chunk step over the window's objects."""
+        started = time.perf_counter()
         objects: list[int] = []
         for stamp in sorted(window_ts):
             objects.extend(self._pending.pop(stamp))
@@ -402,7 +411,8 @@ class TruthService:
         high = float(max(window_ts))
         self._sealed_high = (high if self._sealed_high is None
                              else max(self._sealed_high, high))
-        self._totals["windows_sealed"] += 1
+        self._c_sealed.inc()
+        self._h_seal.observe(time.perf_counter() - started)
 
     def _recompute_dirty(self) -> int:
         """Drain the dirty set through the planner; returns how many
@@ -437,6 +447,7 @@ class TruthService:
         indices = np.arange(self._store.n_objects, dtype=np.int64)
         self._resolve_into_cache(indices)
         self._store.dirty.clear()
+        self._update_gauges()
         return int(indices.size)
 
     # ------------------------------------------------------------------
@@ -482,9 +493,11 @@ class TruthService:
         )
         hits = int((~miss_mask).sum())
         misses_n = len(ids) - hits
-        self._totals["read_objects"] += len(ids)
-        self._totals["cache_hits"] += hits
-        self._totals["cache_misses"] += misses_n
+        self._c_read.inc(len(ids))
+        self._c_hits.inc(hits)
+        self._c_misses.inc(misses_n)
+        self._h_read.observe(time.perf_counter() - started)
+        self._update_gauges()
         if self._tracing():
             self.tracer.emit(read_record(
                 read_objects=len(ids),
@@ -507,24 +520,68 @@ class TruthService:
         """Weights keyed by source id (convenience for reporting)."""
         return dict(zip(self._store.source_ids, self._current_weights()))
 
+    def _update_gauges(self) -> None:
+        """Refresh the registry's point-in-time serving gauges."""
+        registry = self.registry
+        if not registry.enabled:
+            return
+        registry.gauge("dirty_objects").set(len(self._store.dirty))
+        registry.gauge("pending_timestamps").set(len(self._pending))
+        registry.gauge("cached_objects").set(self._cache.n_cached())
+        registry.gauge("truth_version").set(self._model.state.epoch)
+        drift = self._model.last_weight_delta
+        registry.gauge("weight_drift").set(
+            0.0 if drift is None else drift)
+        weights = self._current_weights()
+        total = float(weights.sum())
+        if total > 0:
+            p = weights[weights > 0] / total
+            entropy = float(-(p * np.log(p)).sum())
+        else:
+            entropy = 0.0
+        registry.gauge("weight_entropy").set(entropy)
+        hits = self._c_hits.value
+        reads = hits + self._c_misses.value
+        registry.gauge("cache_hit_rate").set(hits / reads
+                                             if reads else 1.0)
+
+    def _serving_totals(self) -> dict:
+        """The lifetime serving counters as a plain int dict (the
+        snapshot's ``totals`` key and the counter half of
+        :meth:`metrics`)."""
+        return {
+            "ingested_claims": int(self._c_ingested.value),
+            "windows_sealed": int(self._c_sealed.value),
+            "recomputed_objects": int(self._c_recomputed.value),
+            "read_objects": int(self._c_read.value),
+            "cache_hits": int(self._c_hits.value),
+            "cache_misses": int(self._c_misses.value),
+        }
+
     def metrics(self) -> dict:
-        """Serving counters: sizes, dirty set, cache hit rate."""
-        hits = self._totals["cache_hits"]
-        misses = self._totals["cache_misses"]
-        reads = hits + misses
+        """Serving counters: sizes, dirty set, cache hit rate.
+
+        Backed by :attr:`registry` — the counter-valued keys read the
+        live :class:`~repro.observability.metrics.MetricsRegistry`
+        counters (all zero under a disabled registry); every key is a
+        ``docs/OBSERVABILITY.md`` glossary name.
+        """
+        totals = self._serving_totals()
+        hits = totals["cache_hits"]
+        reads = hits + totals["cache_misses"]
         return {
             "n_sources": self._store.n_sources,
             "n_objects": self._store.n_objects,
             "n_claims": self._store.n_claims(),
-            "windows_sealed": self._totals["windows_sealed"],
+            "windows_sealed": totals["windows_sealed"],
             "pending_timestamps": len(self._pending),
             "dirty_objects": len(self._store.dirty),
             "cached_objects": self._cache.n_cached(),
-            "ingested_claims": self._totals["ingested_claims"],
-            "recomputed_objects": self._totals["recomputed_objects"],
-            "read_objects": self._totals["read_objects"],
+            "ingested_claims": totals["ingested_claims"],
+            "recomputed_objects": totals["recomputed_objects"],
+            "read_objects": totals["read_objects"],
             "cache_hits": hits,
-            "cache_misses": misses,
+            "cache_misses": totals["cache_misses"],
             "cache_hit_rate": hits / reads if reads else 1.0,
         }
 
@@ -570,13 +627,14 @@ class TruthService:
             "pending": [[stamp, objs]
                         for stamp, objs in self._pending.items()],
             "dirty": sorted(int(i) for i in self._store.dirty),
-            "totals": self._totals,
+            "totals": self._serving_totals(),
         }
         (directory / "service.json").write_text(json.dumps(meta, indent=2))
 
     @classmethod
     def restore(cls, directory, *, tracer: Tracer | None = None,
-                profiler: Profiler | None = None) -> "TruthService":
+                profiler: Profiler | None = None,
+                metrics: MetricsRegistry | None = None) -> "TruthService":
         """Rebuild a service from a :meth:`snapshot` directory."""
         directory = Path(directory)
         meta = json.loads((directory / "service.json").read_text())
@@ -593,6 +651,7 @@ class TruthService:
             codecs=matrix.codecs(),
             tracer=tracer,
             profiler=profiler,
+            metrics=metrics,
         )
         service._store = ClaimStore.from_claims_matrix(matrix)
         bundle = np.load(directory / "state.npz")
@@ -626,5 +685,7 @@ class TruthService:
             for stamp, objs in meta.get("pending", [])
         }
         service._store.dirty = {int(i) for i in meta.get("dirty", [])}
-        service._totals.update(meta.get("totals", {}))
+        for name, value in meta.get("totals", {}).items():
+            service.registry.counter(name).inc(float(value))
+        service._update_gauges()
         return service

@@ -46,6 +46,7 @@ class TestSuite:
             "fig7/scaling_point",
             "streaming/icrh_chunks",
             "serving/ingest_read",
+            "serving/metrics_overhead",
             "baseline/median-sparse",
             "baseline/catd-process-w2",
             "baseline/truthfinder-sparse",

@@ -189,6 +189,119 @@ class TestJsonlRoundTrip:
         assert not unknown, f"undocumented trace fields: {sorted(unknown)}"
 
 
+class TestServingTotals:
+    """RunReport aggregation over TruthService ingest/read records."""
+
+    def _traced_service(self):
+        from repro.data import DatasetSchema, continuous
+        from repro.streaming import Claim, TruthService
+
+        tracer = MemoryTracer()
+        service = TruthService(DatasetSchema.of(continuous("p0")),
+                               window=1, tracer=tracer)
+        for batch in range(3):  # fresh objects per batch advance windows
+            service.ingest([
+                Claim(batch * 4 + i % 4, "p0", f"s{i % 3}", float(i),
+                      float(batch))
+                for i in range(6)
+            ])
+        service.flush()
+        service.get_truth(service.object_ids)
+        service.get_truth(service.object_ids)  # warm second read
+        return service, tracer
+
+    def test_totals_match_the_service_counters(self):
+        service, tracer = self._traced_service()
+        totals = RunReport.from_records(tracer.records).serving_totals()
+        metrics = service.metrics()
+        assert totals["ingest_batches"] == 3
+        assert totals["ingested_claims"] == metrics["ingested_claims"]
+        # the flush-time seal happens outside any ingest record, so the
+        # trace sees exactly one seal fewer than the live counter
+        assert totals["windows_sealed"] == 2
+        assert metrics["windows_sealed"] == 3
+        assert totals["read_calls"] == 2
+        assert totals["read_objects"] == metrics["read_objects"]
+        assert totals["cache_hits"] == metrics["cache_hits"]
+        assert totals["cache_misses"] == metrics["cache_misses"]
+        assert totals["cache_hit_rate"] == pytest.approx(
+            metrics["cache_hit_rate"])
+
+    def test_summary_renders_the_serving_line(self):
+        _, tracer = self._traced_service()
+        summary = RunReport.from_records(tracer.records).summary()
+        assert "serving: 18 claim(s) ingested over 3 batch(es)" in summary
+        assert "cache hits" in summary
+
+    def test_trace_free_report_has_no_serving_totals(self):
+        report = RunReport.from_records(
+            [{"event": "run_start", "v": 3}])
+        assert report.serving_totals() == {}
+        assert "serving:" not in report.summary()
+
+    def test_counter_totals_include_serving_counters(self):
+        _, tracer = self._traced_service()
+        totals = RunReport.from_records(tracer.records).counter_totals()
+        assert totals["ingested_claims"] == 18
+        assert totals["read_objects"] > 0
+
+    def test_cli_summarize_aggregates_serving_trace(self, tmp_path,
+                                                    capsys):
+        from repro.cli import main
+        from repro.data import DatasetSchema, continuous
+        from repro.streaming import Claim, TruthService
+
+        path = tmp_path / "serve.jsonl"
+        with JsonlTracer(path) as tracer:
+            service = TruthService(DatasetSchema.of(continuous("p0")),
+                                   window=1, tracer=tracer)
+            service.ingest([Claim(0, "p0", "s0", 1.0, 0.0),
+                            Claim(0, "p0", "s1", 2.0, 1.0)])
+            service.flush()
+            service.get_truth([0])
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serving: 2 claim(s) ingested over 1 batch(es)" in out
+
+
+class TestConcurrentAppend:
+    def test_parallel_appenders_interleave_whole_lines(self, tmp_path):
+        """``append_record``'s O_APPEND single-write discipline: many
+        threads appending to one JSONL file must never tear or
+        interleave partial lines."""
+        import threading
+
+        from repro.observability.tracer import append_record
+
+        path = tmp_path / "shared.jsonl"
+        n_threads, per_thread = 8, 200
+
+        def pound(thread_id: int) -> None:
+            for i in range(per_thread):
+                append_record(path, {
+                    "event": "benchmark", "v": 3,
+                    "thread": thread_id, "seq": i,
+                    "pad": "x" * (64 + (i % 7) * 16),
+                })
+
+        threads = [threading.Thread(target=pound, args=(t,))
+                   for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) == n_threads * per_thread
+        by_thread = {}
+        for record in records:
+            by_thread.setdefault(record["thread"], []).append(
+                record["seq"])
+        # every thread's lines arrived whole and exactly once
+        for thread_id, seqs in by_thread.items():
+            assert sorted(seqs) == list(range(per_thread)), thread_id
+
+
 class TestMapReduceCounters:
     def test_counters_nonzero_on_small_run(self, workload):
         dataset, _ = workload

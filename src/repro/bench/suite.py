@@ -13,6 +13,11 @@ The pinned cases:
 
 * ``primitives/weighted_median`` / ``primitives/weighted_vote`` — the
   Eq. 16 / Eq. 9 segment kernels on a flat synthetic claim array;
+* ``core/median`` / ``core/vote`` / ``core/deviations`` — the same
+  kernels shaped exactly like one solver iteration runs them (cached
+  :class:`~repro.core.kernels.MedianSortPlan`, precomputed effective
+  weights, preallocated deviation scratch), so the active kernel tier's
+  effect on the hot path is measured directly;
 * ``backend/dense`` / ``backend/sparse`` — full CRH on a 5%-density
   claims workload under each execution backend (the
   memory-vs-layout trade the profile recommends between);
@@ -107,6 +112,84 @@ def _run_weighted_vote(payload, profiler: MemoryProfiler):
                 n_categories=8,
             )
     return out
+
+
+# -- solver-shaped kernel microbenches ---------------------------------
+
+_CORE_SOURCES = 50
+
+
+def _core_payload(scale: float, seed: int):
+    """Solver-shaped kernel inputs on top of :func:`_segments_payload`.
+
+    Adds what one solver iteration would have on hand: the claim
+    grouping, a cached :class:`~repro.core.kernels.MedianSortPlan`
+    (built once per view lifetime, not per iteration), per-claim source
+    positions, and per-entry stds/truths for the deviation pass.
+    """
+    payload = _segments_payload(scale, seed)
+    rng = np.random.default_rng(seed + 1)
+    sizes = np.diff(payload["starts"])
+    group = np.repeat(np.arange(sizes.shape[0]), sizes)
+    n_claims = payload["values"].shape[0]
+    payload.update(
+        group=group,
+        source_idx=rng.integers(
+            0, _CORE_SOURCES, n_claims).astype(np.int32),
+        stds=rng.uniform(0.5, 2.0, sizes.shape[0]),
+        truths=rng.normal(0.0, 1.0, sizes.shape[0]),
+        plan=kernels.MedianSortPlan(payload["values"], group,
+                                    payload["starts"]),
+    )
+    return payload
+
+
+def _run_core_median(payload, profiler: MemoryProfiler):
+    """Eq. 16 median as the fused sweep runs it: cached plan, effective
+    weights computed once per iteration."""
+    with activate(profiler), profiler.phase("run"):
+        for _ in range(_PRIMITIVE_REPEATS):
+            effective = kernels.effective_claim_weights(
+                payload["weights"], payload["starts"], payload["group"])
+            out = kernels.segment_weighted_median(
+                payload["values"], payload["weights"], payload["starts"],
+                group_of_claim=payload["group"], plan=payload["plan"],
+                effective=effective,
+            )
+    return out
+
+
+def _run_core_vote(payload, profiler: MemoryProfiler):
+    """Eq. 9 vote as the fused sweep runs it: precomputed effective
+    weights shared with the rest of the iteration."""
+    with activate(profiler), profiler.phase("run"):
+        for _ in range(_PRIMITIVE_REPEATS):
+            effective = kernels.effective_claim_weights(
+                payload["weights"], payload["starts"], payload["group"])
+            out = kernels.segment_weighted_vote(
+                payload["codes"], payload["weights"], payload["starts"],
+                n_categories=8, group_of_claim=payload["group"],
+                effective=effective,
+            )
+    return out
+
+
+def _run_core_deviations(payload, profiler: MemoryProfiler):
+    """The weight step's deviation pass with the sweep's preallocated
+    scratch: per-claim deviations into a reused buffer, per-source
+    accumulation into a reused ``(totals, counts)`` pair."""
+    scratch = np.empty(payload["values"].shape[0], dtype=np.float64)
+    pair = (np.zeros(_CORE_SOURCES), np.zeros(_CORE_SOURCES))
+    with activate(profiler), profiler.phase("run"):
+        for _ in range(_PRIMITIVE_REPEATS):
+            kernels.squared_claim_deviations(
+                payload["values"], payload["truths"], payload["stds"],
+                payload["group"], out=scratch,
+            )
+            totals, _counts = kernels.accumulate_source_deviations(
+                scratch, payload["source_idx"], _CORE_SOURCES, out=pair,
+            )
+    return totals
 
 
 # -- dense vs sparse backends ------------------------------------------
@@ -320,6 +403,27 @@ SUITE: tuple[BenchCase, ...] = (
         description="Eq. 9 segment weighted vote on flat claims",
         build=_segments_payload,
         run=_run_weighted_vote,
+    ),
+    BenchCase(
+        name="core/median",
+        description="Eq. 16 median, solver-shaped (cached sort plan + "
+                    "effective weights)",
+        build=_core_payload,
+        run=_run_core_median,
+    ),
+    BenchCase(
+        name="core/vote",
+        description="Eq. 9 vote, solver-shaped (precomputed effective "
+                    "weights)",
+        build=_core_payload,
+        run=_run_core_vote,
+    ),
+    BenchCase(
+        name="core/deviations",
+        description="Eq. 13 deviations + per-source accumulation with "
+                    "preallocated scratch",
+        build=_core_payload,
+        run=_run_core_deviations,
     ),
     BenchCase(
         name="backend/dense",

@@ -1,0 +1,254 @@
+"""Kernel-tier dispatch: NumPy default, optional compiled (numba) tier.
+
+The segment kernels in :mod:`repro.core.kernels` have one NumPy
+implementation each, plus compiled implementations of the three hottest
+ones in :mod:`repro.core.kernels_numba`.  This module decides which
+tier a run executes and installs it:
+
+* ``kernel_tier="numpy"`` — the NumPy implementations, always
+  available, always the reference.
+* ``kernel_tier="numba"`` — the compiled implementations where numba
+  is importable **and** a startup self-check reproduced the NumPy
+  results bit for bit; otherwise the run falls back to NumPy with the
+  cause recorded (the ``kernel_tier_reason`` trace field).
+* ``kernel_tier="auto"`` — the session default set via
+  :func:`set_kernel_tier` / :func:`use_kernel_tier` when one is
+  installed, else numba when available, else NumPy.
+
+Dispatch is a per-process registry: :func:`activate_tier` installs a
+tier's implementations for the duration of a ``with`` block and the
+kernels consult :func:`kernel_override` per call (one dict lookup; the
+empty registry means NumPy).  The process backend re-activates the
+parent's tier inside each worker task, so sharded execution follows
+the same tier decision as inline execution.  Choosing a tier can never
+change a result — the equivalence fuzz in
+``tests/test_kernel_tiers.py`` pins numpy-vs-numba bit-identity, and
+the self-check enforces it again at activation time on the running
+NumPy build.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable
+
+import numpy as np
+
+#: Accepted ``kernel_tier`` values, mirroring ``BACKEND_NAMES``.
+KERNEL_TIER_NAMES = ("auto", "numpy", "numba")
+
+#: Kernel names the compiled tier overrides.
+COMPILED_KERNELS = ("segment_weighted_median", "segment_weighted_vote",
+                    "accumulate_source_deviations")
+
+_SESSION_DEFAULT: str | None = None
+_ACTIVE_TIER = "numpy"
+_ACTIVE_IMPLS: dict[str, Callable] = {}
+#: memoized (available, reason-if-not) of the numba tier self-check
+_NUMBA_STATUS: tuple[bool, str | None] | None = None
+
+
+def kernel_override(name: str):
+    """The active tier's implementation of ``name``, or ``None`` (NumPy)."""
+    return _ACTIVE_IMPLS.get(name)
+
+
+def active_kernel_tier() -> str:
+    """Name of the tier currently installed in this process."""
+    return _ACTIVE_TIER
+
+
+def _self_check() -> str | None:
+    """Compare the compiled kernels against NumPy on a fixed workload.
+
+    Returns ``None`` when every result is bit-identical, else a short
+    description of the first mismatch.  Guards against a NumPy build
+    whose ``reduceat``/pairwise summation differs from the model the
+    compiled median replicates.
+    """
+    from ..data.encoding import MISSING_CODE
+    from . import kernels
+    from . import kernels_numba as kn
+
+    rng = np.random.default_rng(12345)
+    sizes = np.array([0, 1, 2, 3, 7, 8, 9, 60, 130, 300], dtype=np.int64)
+    indptr = np.zeros(sizes.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    n = int(indptr[-1])
+    group = np.repeat(np.arange(sizes.size), sizes)
+    values = np.round(rng.normal(size=n), 1)  # rounded -> value ties
+    weights = rng.random(n) * rng.choice([0.0, 1e-6, 1.0, 1e6], n)
+    weights[group == 2] = 0.0  # a zero-total group
+    codes = rng.integers(0, 5, n).astype(np.int32)
+    try:
+        with activate_tier("numpy"):
+            median_np = kernels.segment_weighted_median(
+                values, weights, indptr, group_of_claim=group)
+            vote_np = kernels.segment_weighted_vote(
+                codes, weights, indptr, 5, group_of_claim=group)
+        eff, totals = kernels._effective_weights(weights, indptr, group)
+        plan = kernels.MedianSortPlan(values, group)
+        sorted_weights = eff[plan.order]
+        median_nb = np.empty(sizes.size, dtype=np.float64)
+        kn.median_core(plan.sorted_values, sorted_weights,
+                       indptr[:-1].astype(np.int64), sizes,
+                       totals / 2.0 - 1e-12, median_nb)
+        vote_nb = np.empty(sizes.size, dtype=np.int32)
+        kn.vote_core(codes, eff, indptr, 5, MISSING_CODE, vote_nb)
+    except Exception as error:  # pragma: no cover - compilation failure
+        return f"compiled-kernel self-check failed to run ({error!r})"
+    if not np.array_equal(median_np, median_nb, equal_nan=True):
+        return "self-check mismatch in segment_weighted_median"
+    if not np.array_equal(vote_np, vote_nb):
+        return "self-check mismatch in segment_weighted_vote"
+    dev = rng.normal(size=n)
+    dev[rng.random(n) < 0.1] = np.nan
+    src = rng.integers(0, 7, n).astype(np.int32)
+    with activate_tier("numpy"):
+        totals_np, counts_np = kernels.accumulate_source_deviations(
+            dev, src, 7)
+    totals_nb = np.zeros(7)
+    counts_nb = np.zeros(7)
+    kn.accumulate_core(dev, src, totals_nb, counts_nb)
+    if not (np.array_equal(totals_np, totals_nb)
+            and np.array_equal(counts_np, counts_nb)):
+        return "self-check mismatch in accumulate_source_deviations"
+    return None
+
+
+def numba_tier_status() -> tuple[bool, str | None]:
+    """Whether the compiled tier may be activated, memoized.
+
+    Returns ``(True, None)`` when numba imports and the self-check
+    passed, else ``(False, reason)`` — the reason becomes the traced
+    ``kernel_tier_reason`` of the NumPy fallback.
+    """
+    global _NUMBA_STATUS
+    if _NUMBA_STATUS is None:
+        from . import kernels_numba as kn
+
+        if not kn.NUMBA_AVAILABLE:
+            _NUMBA_STATUS = (False, kn.NUMBA_UNAVAILABLE_REASON)
+        else:
+            failure = _self_check()
+            _NUMBA_STATUS = (failure is None, failure)
+    return _NUMBA_STATUS
+
+
+def resolve_kernel_tier(requested: str = "auto") -> tuple[str, str]:
+    """Resolve a ``kernel_tier`` request to ``(tier, reason)``.
+
+    ``tier`` is the concrete tier to activate (``"numpy"`` or
+    ``"numba"``); ``reason`` explains the decision the way
+    ``backend_reason`` does — explicit request, session default, auto
+    preference, or the fallback cause when numba was requested but is
+    unavailable.
+    """
+    if requested not in KERNEL_TIER_NAMES:
+        raise ValueError(
+            f"kernel_tier must be one of {KERNEL_TIER_NAMES}, "
+            f"got {requested!r}"
+        )
+    origin = "explicit request"
+    if requested == "auto":
+        if _SESSION_DEFAULT is not None:
+            requested = _SESSION_DEFAULT
+            origin = "session default"
+        else:
+            available, why = numba_tier_status()
+            if available:
+                return "numba", "auto: compiled tier available (self-check passed)"
+            return "numpy", f"auto: {why}"
+    if requested == "numpy":
+        return "numpy", origin
+    available, why = numba_tier_status()
+    if available:
+        return "numba", origin
+    return "numpy", f"numba tier unavailable, NumPy fallback: {why}"
+
+
+def set_kernel_tier(name: str | None) -> None:
+    """Install a session-wide default tier ``"auto"`` resolves to.
+
+    ``None`` (or ``"auto"``) clears the default.  Mirrors
+    :func:`repro.engine.set_default_backend`.
+    """
+    global _SESSION_DEFAULT
+    if name is not None and name not in KERNEL_TIER_NAMES:
+        raise ValueError(
+            f"kernel tier must be one of {KERNEL_TIER_NAMES}, got {name!r}"
+        )
+    _SESSION_DEFAULT = None if name in (None, "auto") else name
+
+
+def get_kernel_tier() -> str | None:
+    """The session default tier, or ``None`` when unset."""
+    return _SESSION_DEFAULT
+
+
+@contextmanager
+def use_kernel_tier(name: str | None):
+    """Scoped :func:`set_kernel_tier` (restores the previous default)."""
+    previous = _SESSION_DEFAULT
+    set_kernel_tier(name)
+    try:
+        yield
+    finally:
+        set_kernel_tier(previous)
+
+
+def _compiled_implementations() -> dict[str, Callable]:
+    """The compiled tier's override registry (kernel name -> core)."""
+    from . import kernels_numba as kn
+
+    return {
+        "segment_weighted_median": kn.median_core,
+        "segment_weighted_vote": kn.vote_core,
+        "accumulate_source_deviations": kn.accumulate_core,
+    }
+
+
+def _install(tier: str) -> None:
+    global _ACTIVE_TIER
+    if tier == _ACTIVE_TIER:
+        return
+    if tier == "numba":
+        _ACTIVE_IMPLS.update(_compiled_implementations())
+    else:
+        _ACTIVE_IMPLS.clear()
+    _ACTIVE_TIER = tier
+
+
+@contextmanager
+def activate_tier(tier: str):
+    """Install a *resolved* tier for the duration of a ``with`` block.
+
+    ``tier`` must be ``"numpy"`` or ``"numba"`` (resolve ``"auto"``
+    through :func:`resolve_kernel_tier` first).  Restores the previous
+    tier on exit, exceptions included.
+    """
+    if tier not in ("numpy", "numba"):
+        raise ValueError(
+            f"activate_tier takes a resolved tier (numpy/numba), "
+            f"got {tier!r}"
+        )
+    previous = _ACTIVE_TIER
+    _install(tier)
+    try:
+        yield
+    finally:
+        _install(previous)
+
+
+def ensure_tier(tier: str) -> None:
+    """Install a resolved tier process-wide (no scoping).
+
+    Used by process-backend workers, which receive the parent's resolved
+    tier with every task and must match it before running shard
+    kernels; idempotent when the tier is already active.
+    """
+    if tier not in ("numpy", "numba"):
+        raise ValueError(
+            f"ensure_tier takes a resolved tier (numpy/numba), got {tier!r}"
+        )
+    _install(tier)

@@ -60,6 +60,7 @@ import numpy as np
 
 from ..data.encoding import MISSING_CODE
 from ..observability import profiling as _profiling
+from . import dispatch as _dispatch
 
 
 def _profiled(fn):
@@ -130,16 +131,107 @@ def _effective_weights(
     return claim_weights, totals
 
 
+def effective_claim_weights(
+    claim_weights: np.ndarray, indptr: np.ndarray,
+    group_of_claim: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Public form of the per-claim effective-weight computation.
+
+    Returns ``(effective_claim_weights, per_group_totals)`` with the
+    zero-total-group uniform fallback applied — the pair every
+    truth-step kernel derives internally.  Callers that run several
+    kernels over the same claim weights (the Huber loss's median warm
+    start + IRLS, the fused multi-property sweep) compute it once and
+    pass it through the kernels' ``effective=`` parameter, skipping the
+    per-kernel recomputation without changing a single bit.
+    """
+    if group_of_claim is None:
+        group_of_claim = _group_of_claim(indptr)
+    return _effective_weights(claim_weights, indptr, group_of_claim)
+
+
+class MedianSortPlan:
+    """Reusable sort structure of :func:`segment_weighted_median`.
+
+    The kernel's dominant cost is the ``np.lexsort`` into ``(group,
+    value)`` order — an order that depends only on the claim values and
+    grouping, never on the iteration's weights.  A plan captures that
+    order (plus the values gathered into it and a reusable weight
+    scratch buffer, one trailing slot wide so ``np.add.reduceat`` can
+    take a prefix ending at the array's full length), so every
+    iteration of a solve pays one weight gather instead of a fresh
+    sort.  :meth:`~repro.data.claims_matrix.ClaimView.median_plan`
+    caches one plan per claim view — the arrays a plan is built from
+    are immutable for the view's lifetime.
+
+    Once the sort is amortized away, the next cost tier is the bundle
+    of segment arrays the kernel derives from ``indptr`` on every call
+    — starts, sizes, the occupied-group index, the binary search's
+    initial bounds.  Those are just as iteration-invariant as the sort
+    order, so :meth:`segments` computes them once (lazily, from the
+    first ``indptr`` the kernel passes in — the plan's grouping is
+    derived from that same ``indptr``, so it never changes for the
+    plan's lifetime) together with per-call ``lo`` / ``hi`` /
+    ``threshold`` scratch buffers.
+
+    The scratch buffers make a plan single-threaded state, like the
+    profiler: two concurrent median calls over one plan would race on
+    them.  Every engine (including the process backend, whose workers
+    hold per-shard views in distinct processes) runs kernels on one
+    thread, so this is the same contract the rest of the kernel layer
+    already has.
+    """
+
+    __slots__ = ("order", "sorted_values", "weight_scratch",
+                 "starts", "sizes", "occupied", "_hi0",
+                 "_lo", "_hi", "_threshold")
+
+    def __init__(self, values: np.ndarray,
+                 group_of_claim: np.ndarray,
+                 indptr: np.ndarray | None = None) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        self.order = np.lexsort((values, group_of_claim))
+        self.sorted_values = values[self.order]
+        self.weight_scratch = np.empty(values.shape[0] + 1,
+                                       dtype=np.float64)
+        self.starts = None
+        if indptr is not None:
+            self.segments(indptr)
+
+    def segments(self, indptr: np.ndarray) -> "MedianSortPlan":
+        """Cache the segment arrays derived from ``indptr``; returns self.
+
+        Pure reuse: the cached arrays hold exactly the values the
+        kernel would compute per call (same dtypes, same contents).
+        """
+        if self.starts is None:
+            self.starts = np.asarray(indptr[:-1], dtype=np.int64)
+            self.sizes = np.diff(indptr).astype(np.int64)
+            self.occupied = np.flatnonzero(self.sizes > 0)
+            self._hi0 = np.maximum(self.sizes - 1, 0)
+            n_groups = self.sizes.shape[0]
+            self._lo = np.empty(n_groups, dtype=np.int64)
+            self._hi = np.empty(n_groups, dtype=np.int64)
+            self._threshold = np.empty(n_groups, dtype=np.float64)
+        return self
+
+
 @_profiled
 def segment_weighted_mean(values: np.ndarray, claim_weights: np.ndarray,
                           indptr: np.ndarray,
                           group_of_claim: np.ndarray | None = None,
-                          ) -> np.ndarray:
-    """Weighted mean of every claim group (Eq. 14); ``NaN`` when empty."""
+                          effective: tuple[np.ndarray, np.ndarray]
+                          | None = None) -> np.ndarray:
+    """Weighted mean of every claim group (Eq. 14); ``NaN`` when empty.
+
+    ``effective`` optionally supplies the precomputed
+    :func:`effective_claim_weights` pair (pure reuse, bit-identical).
+    """
     if group_of_claim is None:
         group_of_claim = _group_of_claim(indptr)
-    weights, totals = _effective_weights(claim_weights, indptr,
-                                         group_of_claim)
+    weights, totals = (effective if effective is not None
+                       else _effective_weights(claim_weights, indptr,
+                                               group_of_claim))
     sums = _segment_sums(
         np.asarray(values, dtype=np.float64) * weights, indptr
     )
@@ -152,13 +244,23 @@ def segment_weighted_mean(values: np.ndarray, claim_weights: np.ndarray,
 def segment_weighted_median(values: np.ndarray, claim_weights: np.ndarray,
                             indptr: np.ndarray,
                             group_of_claim: np.ndarray | None = None,
-                            ) -> np.ndarray:
+                            plan: MedianSortPlan | None = None,
+                            effective: tuple[np.ndarray, np.ndarray]
+                            | None = None) -> np.ndarray:
     """Weighted median of every claim group (Eq. 16); ``NaN`` when empty.
 
     Implements the paper's half-mass rule: sort each group's claims by
     value (stable, so equal values keep source order), accumulate
     weights, and pick the first claim whose cumulative weight reaches
     ``W/2 - 1e-12``.
+
+    ``plan`` optionally supplies a precomputed
+    :class:`MedianSortPlan` for exactly these ``values`` /
+    ``group_of_claim`` arrays (claim views cache one), skipping the
+    dominant ``np.lexsort``; ``effective`` optionally supplies the
+    :func:`effective_claim_weights` pair so fused callers don't
+    recompute it.  Both are pure reuse — the result is bit-identical
+    with or without them.
 
     Every prefix mass is evaluated *segment-locally* (a reduction over
     the group's own rows only, never a global running sum), so the
@@ -169,27 +271,45 @@ def segment_weighted_median(values: np.ndarray, claim_weights: np.ndarray,
     values = np.asarray(values, dtype=np.float64)
     if group_of_claim is None:
         group_of_claim = _group_of_claim(indptr)
-    weights, totals = _effective_weights(claim_weights, indptr,
-                                         group_of_claim)
+    weights, totals = (effective if effective is not None
+                       else _effective_weights(claim_weights, indptr,
+                                               group_of_claim))
     n_groups = indptr.shape[0] - 1
-    order = np.lexsort((values, group_of_claim))
-    sorted_values = values[order]
-    # One trailing zero lets reduceat accept a prefix ending at the
-    # array's full length without changing any prefix sum.
-    sorted_weights = np.concatenate([weights[order], [0.0]])
+    if plan is None:
+        plan = MedianSortPlan(values, group_of_claim, indptr)
+    else:
+        plan.segments(indptr)
+    sorted_values = plan.sorted_values
+    # The scratch's one trailing zero lets reduceat accept a prefix
+    # ending at the array's full length without changing any prefix sum.
+    sorted_weights = plan.weight_scratch
+    np.take(weights, plan.order, out=sorted_weights[:-1])
+    sorted_weights[-1] = 0.0
 
-    starts = np.asarray(indptr[:-1], dtype=np.int64)
-    sizes = np.diff(indptr).astype(np.int64)
-    threshold = totals / 2.0 - 1e-12
+    starts = plan.starts
+    sizes = plan.sizes
+    # totals / 2 is an exact binary scaling, written in place into the
+    # plan's threshold scratch to keep the call allocation-free.
+    threshold = plan._threshold
+    np.divide(totals, 2.0, out=threshold)
+    threshold -= 1e-12
+    core = _dispatch.kernel_override("segment_weighted_median")
+    if core is not None:
+        result = np.empty(n_groups, dtype=np.float64)
+        core(sorted_values, sorted_weights, starts, sizes, threshold,
+             result)
+        return result
     # Per-group binary search over the claim rank: find the first sorted
     # row whose segment-local prefix mass reaches the half-mass
     # threshold.  Prefix masses are non-decreasing in the rank (weights
     # are non-negative and float addition of non-negative terms is
     # monotone), and the full-group prefix always reaches the threshold,
     # so the search converges to the first crossing.
-    lo = np.zeros(n_groups, dtype=np.int64)
-    hi = np.maximum(sizes - 1, 0)
-    occupied = np.flatnonzero(sizes > 0)
+    lo = plan._lo
+    lo.fill(0)
+    hi = plan._hi
+    np.copyto(hi, plan._hi0)
+    occupied = plan.occupied
     while True:
         open_ = occupied[lo[occupied] < hi[occupied]]
         if open_.size == 0:
@@ -207,21 +327,52 @@ def segment_weighted_median(values: np.ndarray, claim_weights: np.ndarray,
     return result
 
 
+#: Above this many ``n_categories * n_groups`` score cells the vote
+#: kernel switches from the dense score matrix to the sparse
+#: claimed-cells path (same winners; see the kernel docstring).
+VOTE_DENSE_SCORE_CELLS = 4_000_000
+
+
 @_profiled
 def segment_weighted_vote(codes: np.ndarray, claim_weights: np.ndarray,
                           indptr: np.ndarray, n_categories: int,
                           group_of_claim: np.ndarray | None = None,
-                          ) -> np.ndarray:
+                          effective: tuple[np.ndarray, np.ndarray]
+                          | None = None) -> np.ndarray:
     """Weighted vote per claim group (Eq. 9).
 
     Returns an ``int32`` vector of winning codes, ``MISSING_CODE`` for
-    empty groups; ties break toward the smallest code.
+    empty groups; ties break toward the smallest code.  ``effective``
+    optionally supplies the precomputed :func:`effective_claim_weights`
+    pair (pure reuse, bit-identical).
+
+    Past :data:`VOTE_DENSE_SCORE_CELLS` score cells the dense
+    ``(n_categories, n_groups)`` matrix is replaced by a sparse
+    reduction over the *claimed* ``(group, code)`` cells only, keeping
+    peak memory proportional to the number of claims instead of the
+    category vocabulary.  The winners are identical: per-cell scores
+    accumulate in claim order exactly like the dense ``np.add.at``,
+    effective weights are non-negative (the zero-total fallback makes
+    every occupied group's total positive), so an unclaimed category's
+    implicit 0.0 score can never beat the claimed maximum, and the
+    sorted-cell scan reproduces ``argmax``'s tie-to-smallest-code rule.
     """
     codes = np.asarray(codes)
     if group_of_claim is None:
         group_of_claim = _group_of_claim(indptr)
-    weights, _ = _effective_weights(claim_weights, indptr, group_of_claim)
+    weights, _ = (effective if effective is not None
+                  else _effective_weights(claim_weights, indptr,
+                                          group_of_claim))
     n_groups = indptr.shape[0] - 1
+    core = _dispatch.kernel_override("segment_weighted_vote")
+    if core is not None:
+        winners = np.empty(n_groups, dtype=np.int32)
+        core(codes, weights, np.asarray(indptr, dtype=np.int64),
+             n_categories, MISSING_CODE, winners)
+        return winners
+    if n_categories * n_groups > VOTE_DENSE_SCORE_CELLS:
+        return _sparse_weighted_vote(codes, weights, group_of_claim,
+                                     n_groups, n_categories)
     scores = np.zeros((n_categories, n_groups), dtype=np.float64)
     np.add.at(scores, (codes, group_of_claim), weights)
     winners = scores.argmax(axis=0).astype(np.int32)
@@ -229,23 +380,58 @@ def segment_weighted_vote(codes: np.ndarray, claim_weights: np.ndarray,
     return winners
 
 
+def _sparse_weighted_vote(codes: np.ndarray, weights: np.ndarray,
+                          group_of_claim: np.ndarray, n_groups: int,
+                          n_categories: int) -> np.ndarray:
+    """Vote winners via the claimed ``(group, code)`` cells only.
+
+    Memory is O(claims): flatten each claim to its cell id, sum weights
+    per unique cell (``np.bincount`` over the inverse index accumulates
+    in claim order, matching the dense ``np.add.at`` bit for bit), then
+    take each occupied group's first maximal cell — cells sort
+    group-major and code-ascending, so the minimum maximal cell is
+    ``argmax``'s smallest-code tie-break.
+    """
+    winners = np.full(n_groups, MISSING_CODE, dtype=np.int32)
+    if codes.shape[0] == 0:
+        return winners
+    cells = n_categories * group_of_claim.astype(np.int64) + codes
+    unique_cells, inverse = np.unique(cells, return_inverse=True)
+    cell_scores = np.bincount(inverse, weights=weights,
+                              minlength=unique_cells.shape[0])
+    group_of_cell = unique_cells // n_categories
+    run_starts = np.flatnonzero(np.diff(group_of_cell, prepend=-1))
+    run_sizes = np.diff(np.append(run_starts, group_of_cell.shape[0]))
+    maxima = np.maximum.reduceat(cell_scores, run_starts)
+    is_max = cell_scores == np.repeat(maxima, run_sizes)
+    candidates = np.where(is_max, unique_cells, np.iinfo(np.int64).max)
+    winner_cells = np.minimum.reduceat(candidates, run_starts)
+    winners[group_of_cell[run_starts]] = \
+        (winner_cells % n_categories).astype(np.int32)
+    return winners
+
+
 @_profiled
 def segment_label_distribution(
     codes: np.ndarray, claim_weights: np.ndarray, indptr: np.ndarray,
     n_categories: int, group_of_claim: np.ndarray | None = None,
+    effective: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-group label distribution (Eq. 12) plus its hard arg-max.
 
     Returns ``(distribution, column)`` where ``distribution`` is an
     ``(L, G)`` matrix of per-group category probabilities (all-zero for
     empty groups) and ``column`` the ``int32`` arg-max codes
-    (``MISSING_CODE`` for empty groups).
+    (``MISSING_CODE`` for empty groups).  ``effective`` optionally
+    supplies the precomputed :func:`effective_claim_weights` pair (pure
+    reuse, bit-identical).
     """
     codes = np.asarray(codes)
     if group_of_claim is None:
         group_of_claim = _group_of_claim(indptr)
-    weights, totals = _effective_weights(claim_weights, indptr,
-                                         group_of_claim)
+    weights, totals = (effective if effective is not None
+                       else _effective_weights(claim_weights, indptr,
+                                               group_of_claim))
     n_groups = indptr.shape[0] - 1
     scores = np.zeros((n_categories, n_groups), dtype=np.float64)
     np.add.at(scores, (codes, group_of_claim), weights)
@@ -299,8 +485,12 @@ def segment_huber_irls(
     stds: np.ndarray, initial: np.ndarray, *, delta: float,
     iterations: int, tol: float,
     group_of_claim: np.ndarray | None = None,
+    effective: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Huber-loss truth step: per-group IRLS from a warm start.
+
+    ``effective`` optionally supplies the precomputed
+    :func:`effective_claim_weights` pair (pure reuse, bit-identical).
 
     Iteratively reweighted least squares for the per-entry minimizer of
     the weighted Huber cost: each round multiplies the claim weights by
@@ -317,7 +507,9 @@ def segment_huber_irls(
     values = np.asarray(values, dtype=np.float64)
     if group_of_claim is None:
         group_of_claim = _group_of_claim(indptr)
-    weights, _ = _effective_weights(claim_weights, indptr, group_of_claim)
+    weights, _ = (effective if effective is not None
+                  else _effective_weights(claim_weights, indptr,
+                                          group_of_claim))
     stds = np.asarray(stds, dtype=np.float64)
     truth = np.asarray(initial, dtype=np.float64).copy()
     active = np.diff(indptr) > 0
@@ -392,71 +584,113 @@ def segment_weighted_medoid(
 
 @_profiled
 def zero_one_claim_deviations(codes: np.ndarray, truth_codes: np.ndarray,
-                              object_idx: np.ndarray) -> np.ndarray:
-    """0-1 deviation of every claim from its entry's truth (Eq. 8)."""
+                              object_idx: np.ndarray,
+                              out: np.ndarray | None = None) -> np.ndarray:
+    """0-1 deviation of every claim from its entry's truth (Eq. 8).
+
+    ``out``, when given, receives the result in place of a fresh
+    allocation (all deviation kernels share this contract; results are
+    bit-identical either way).
+    """
     truths = np.asarray(truth_codes)[object_idx]
-    return (np.asarray(codes) != truths).astype(np.float64)
+    mismatch = np.asarray(codes) != truths
+    if out is None:
+        return mismatch.astype(np.float64)
+    np.copyto(out, mismatch)
+    return out
 
 
 @_profiled
 def probability_claim_deviations(codes: np.ndarray,
                                  distribution: np.ndarray,
-                                 object_idx: np.ndarray) -> np.ndarray:
+                                 object_idx: np.ndarray,
+                                 out: np.ndarray | None = None,
+                                 ) -> np.ndarray:
     """Squared one-hot deviation of every claim (Eq. 11, closed form).
 
     ``||p - e_c||^2 = sum_l p_l^2 - 2 p_c + 1`` evaluated against the
     entry's probability column of ``distribution`` (an ``(L, G)``
-    matrix) — no one-hot vectors are materialized.
+    matrix) — no one-hot vectors are materialized.  ``out`` optionally
+    receives the result.
     """
     squared_norm = (np.asarray(distribution) ** 2).sum(axis=0)
     p_claimed = distribution[np.asarray(codes), object_idx]
-    return squared_norm[object_idx] - 2.0 * p_claimed + 1.0
+    if out is None:
+        out = np.empty(object_idx.shape[0], dtype=np.float64)
+    np.take(squared_norm, object_idx, out=out)
+    out -= 2.0 * p_claimed
+    out += 1.0
+    return out
 
 
 @_profiled
 def squared_claim_deviations(values: np.ndarray, truths: np.ndarray,
-                             stds: np.ndarray,
-                             object_idx: np.ndarray) -> np.ndarray:
-    """Std-normalized squared deviation of every claim (Eq. 13)."""
-    residual = np.asarray(values, dtype=np.float64) \
-        - np.asarray(truths)[object_idx]
-    return residual ** 2 / np.asarray(stds)[object_idx]
+                             stds: np.ndarray, object_idx: np.ndarray,
+                             out: np.ndarray | None = None) -> np.ndarray:
+    """Std-normalized squared deviation of every claim (Eq. 13).
+
+    ``out`` optionally receives the result (bit-identical either way).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if out is None:
+        out = np.empty(values.shape[0], dtype=np.float64)
+    np.take(np.asarray(truths, dtype=np.float64), object_idx, out=out)
+    np.subtract(values, out, out=out)
+    np.square(out, out=out)
+    out /= np.asarray(stds)[object_idx]
+    return out
 
 
 @_profiled
 def absolute_claim_deviations(values: np.ndarray, truths: np.ndarray,
-                              stds: np.ndarray,
-                              object_idx: np.ndarray) -> np.ndarray:
-    """Std-normalized absolute deviation of every claim (Eq. 15)."""
-    residual = np.asarray(values, dtype=np.float64) \
-        - np.asarray(truths)[object_idx]
-    return np.abs(residual) / np.asarray(stds)[object_idx]
+                              stds: np.ndarray, object_idx: np.ndarray,
+                              out: np.ndarray | None = None) -> np.ndarray:
+    """Std-normalized absolute deviation of every claim (Eq. 15).
+
+    ``out`` optionally receives the result (bit-identical either way).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if out is None:
+        out = np.empty(values.shape[0], dtype=np.float64)
+    np.take(np.asarray(truths, dtype=np.float64), object_idx, out=out)
+    np.subtract(values, out, out=out)
+    np.abs(out, out=out)
+    out /= np.asarray(stds)[object_idx]
+    return out
 
 
 @_profiled
 def huber_claim_deviations(values: np.ndarray, truths: np.ndarray,
                            stds: np.ndarray, object_idx: np.ndarray,
-                           delta: float) -> np.ndarray:
+                           delta: float,
+                           out: np.ndarray | None = None) -> np.ndarray:
     """Huber deviation of every claim from its entry's truth.
 
     The standardized residual ``r = (v - x*) / std`` scored by the Huber
     function: quadratic (``r^2 / 2``) inside ``[-delta, delta]``, linear
     (``delta (|r| - delta / 2)``) outside — the robust-loss counterpart
     of :func:`squared_claim_deviations` / :func:`absolute_claim_deviations`.
+    ``out`` optionally receives the result (bit-identical either way).
     """
-    residual = (np.asarray(values, dtype=np.float64)
-                - np.asarray(truths)[object_idx]) \
-        / np.asarray(stds)[object_idx]
-    magnitude = np.abs(residual)
-    return np.where(magnitude <= delta,
-                    0.5 * residual ** 2,
-                    delta * (magnitude - 0.5 * delta))
+    values = np.asarray(values, dtype=np.float64)
+    if out is None:
+        out = np.empty(values.shape[0], dtype=np.float64)
+    np.take(np.asarray(truths, dtype=np.float64), object_idx, out=out)
+    np.subtract(values, out, out=out)
+    out /= np.asarray(stds)[object_idx]
+    magnitude = np.abs(out)
+    linear = magnitude <= delta
+    np.square(out, out=out)
+    out *= 0.5
+    np.copyto(out, delta * (magnitude - 0.5 * delta), where=~linear)
+    return out
 
 
 @_profiled
 def bregman_claim_deviations(values: np.ndarray, truths: np.ndarray,
                              indptr: np.ndarray, object_idx: np.ndarray,
-                             divergence) -> np.ndarray:
+                             divergence,
+                             out: np.ndarray | None = None) -> np.ndarray:
     """Scale-normalized Bregman divergence of every claim (Section 2.5).
 
     ``divergence(values, truths)`` is one generator's vectorized
@@ -468,7 +702,8 @@ def bregman_claim_deviations(values: np.ndarray, truths: np.ndarray,
     non-positive or non-finite scales falling back to 1.0), so sharded
     and chunked execution stay bit-identical — provided shards never
     split an entry's claim segment, which both parallel backends
-    guarantee.
+    guarantee.  ``out`` optionally receives the result (bit-identical
+    either way).
     """
     values = np.asarray(values, dtype=np.float64)
     with np.errstate(invalid="ignore", divide="ignore"):
@@ -481,20 +716,38 @@ def bregman_claim_deviations(values: np.ndarray, truths: np.ndarray,
     scale = np.where((counts > 0) & np.isfinite(scale) & (scale > 1e-12),
                      scale, 1.0)
     with np.errstate(invalid="ignore", divide="ignore"):
-        return raw / scale[object_idx]
+        if out is None:
+            return raw / scale[object_idx]
+        np.divide(raw, scale[object_idx], out=out)
+    return out
 
 
 @_profiled
 def accumulate_source_deviations(
     claim_deviations: np.ndarray, source_idx: np.ndarray, n_sources: int,
+    out: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Aggregate per-claim deviations into per-source sums and counts.
 
     The ``(sum, count)`` pair feeds the weight step (Eq. 2/5) and the
     count normalization of Section 2.5.  Claims with a non-finite
     deviation (their entry's truth is still unset) contribute nothing.
+    ``out``, when given, is a preallocated ``(totals, counts)`` float64
+    pair of length ``n_sources`` that receives the result (bit-identical
+    either way).
     """
     claim_deviations = np.asarray(claim_deviations, dtype=np.float64)
+    core = _dispatch.kernel_override("accumulate_source_deviations")
+    if core is not None:
+        if out is None:
+            totals = np.zeros(n_sources, dtype=np.float64)
+            counts = np.zeros(n_sources, dtype=np.float64)
+        else:
+            totals, counts = out
+            totals[:] = 0.0
+            counts[:] = 0.0
+        core(claim_deviations, np.asarray(source_idx), totals, counts)
+        return totals, counts
     finite = np.isfinite(claim_deviations)
     if not finite.all():
         source_idx = np.asarray(source_idx)[finite]
@@ -503,6 +756,11 @@ def accumulate_source_deviations(
                          minlength=n_sources).astype(np.float64)
     counts = np.bincount(source_idx,
                          minlength=n_sources).astype(np.float64)
+    if out is not None:
+        out_totals, out_counts = out
+        np.copyto(out_totals, totals)
+        np.copyto(out_counts, counts)
+        return out_totals, out_counts
     return totals, counts
 
 

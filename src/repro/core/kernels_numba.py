@@ -1,0 +1,206 @@
+"""Compiled (numba) implementations of the hottest segment kernels.
+
+This module holds the ``kernel_tier="numba"`` bodies of
+:func:`~repro.core.kernels.segment_weighted_median`,
+:func:`~repro.core.kernels.segment_weighted_vote`, and
+:func:`~repro.core.kernels.accumulate_source_deviations` — the three
+kernels the pinned bench suite shows dominating dense/sparse CRH runs.
+They are kept **bit-identical** to the NumPy implementations by
+construction:
+
+* Per-source and per-cell accumulations run sequentially in claim
+  order, which is exactly the accumulation order of ``np.bincount`` and
+  the unbuffered ``np.add.at`` (both apply one element at a time in
+  input order).
+* The weighted-median prefix masses replicate NumPy's
+  ``np.add.reduceat`` result exactly: a segment sum over ``[i, j)`` is
+  ``a[i] + pairwise_sum(a[i+1:j])`` where ``pairwise_sum`` is NumPy's
+  classic pairwise algorithm (sequential below 8 elements, an
+  eight-accumulator unrolled loop up to 128, and a recursive split
+  ``n2 = n // 2; n2 -= n2 % 8`` above).  The per-group binary search
+  then replays the NumPy kernel's exact probe sequence
+  (``lo = 0, hi = size - 1, mid = (lo + hi) >> 1``), so every float
+  comparison sees the same bits.
+
+The module imports cleanly without numba installed: ``njit`` degrades
+to a no-op decorator and ``prange`` to ``range``, leaving plain-Python
+bodies that the test suite compares against the NumPy kernels even on
+numba-free machines.  :data:`NUMBA_AVAILABLE` tells the dispatch layer
+(:mod:`repro.core.dispatch`) whether the compiled tier may be
+activated; :data:`NUMBA_UNAVAILABLE_REASON` is the traced
+``kernel_tier_reason`` when it may not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+    NUMBA_UNAVAILABLE_REASON: str | None = None
+except Exception as _import_error:  # numba absent or broken
+    NUMBA_AVAILABLE = False
+    NUMBA_UNAVAILABLE_REASON = (
+        f"numba is not importable ({_import_error!r})"
+    )
+
+    def njit(*args, **kwargs):
+        """No-op stand-in for ``numba.njit`` when numba is absent.
+
+        Keeps the kernel bodies importable and testable as plain Python
+        (the dispatch layer never activates the tier in that case).
+        """
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+    prange = range
+
+
+@njit(cache=True)
+def _pairwise_sum(a, lo, n):
+    """NumPy's pairwise summation over ``a[lo:lo + n]``, bit for bit.
+
+    Mirrors ``pairwise_sum_DOUBLE`` in NumPy's ufunc inner loops:
+    sequential accumulation below 8 elements, the eight-accumulator
+    unrolled block up to 128, and the ``n2 = n // 2; n2 -= n2 % 8``
+    recursive split above — the same additions in the same order, so
+    the float result matches ``np.add.reduce`` exactly.
+    """
+    if n < 8:
+        res = 0.0
+        for i in range(n):
+            res += a[lo + i]
+        return res
+    if n <= 128:
+        r0 = a[lo]
+        r1 = a[lo + 1]
+        r2 = a[lo + 2]
+        r3 = a[lo + 3]
+        r4 = a[lo + 4]
+        r5 = a[lo + 5]
+        r6 = a[lo + 6]
+        r7 = a[lo + 7]
+        i = 8
+        limit = n - (n % 8)
+        while i < limit:
+            r0 += a[lo + i]
+            r1 += a[lo + i + 1]
+            r2 += a[lo + i + 2]
+            r3 += a[lo + i + 3]
+            r4 += a[lo + i + 4]
+            r5 += a[lo + i + 5]
+            r6 += a[lo + i + 6]
+            r7 += a[lo + i + 7]
+            i += 8
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            res += a[lo + i]
+            i += 1
+        return res
+    n2 = n // 2
+    n2 -= n2 % 8
+    return _pairwise_sum(a, lo, n2) + _pairwise_sum(a, lo + n2, n - n2)
+
+
+@njit(cache=True)
+def _segment_sum_model(a, start, stop):
+    """``np.add.reduceat``'s segment sum over ``a[start:stop]``, exactly.
+
+    ``reduceat`` seeds the reduction with the first element and
+    pairwise-sums the rest, so a one-element segment returns ``a[start]``
+    itself (no ``+ 0.0`` that could flip a signed zero).
+    """
+    n = stop - start
+    if n <= 0:
+        return 0.0
+    if n == 1:
+        return a[start]
+    return a[start] + _pairwise_sum(a, start + 1, n - 1)
+
+
+@njit(parallel=True, cache=True)
+def median_core(sorted_values, sorted_weights, starts, sizes,
+                threshold, out):
+    """Per-group half-mass binary search of the weighted median.
+
+    Consumes the kernel's precomputed sort plan (values and weights
+    already in ``(group, value)`` order) and replays the NumPy kernel's
+    probe sequence per group; groups are independent, so the ``prange``
+    parallelization cannot change any result.  Writes ``NaN`` for empty
+    groups into ``out``.
+    """
+    n_groups = sizes.shape[0]
+    for g in prange(n_groups):
+        size = sizes[g]
+        if size == 0:
+            out[g] = np.nan
+            continue
+        start = starts[g]
+        t = threshold[g]
+        lo = 0
+        hi = size - 1
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            mass = _segment_sum_model(sorted_weights, start,
+                                      start + mid + 1)
+            if mass >= t:
+                hi = mid
+            else:
+                lo = mid + 1
+        out[g] = sorted_values[start + lo]
+
+
+@njit(parallel=True, cache=True)
+def vote_core(codes, weights, indptr, n_categories, missing_code, out):
+    """Weighted vote per group: claim-order accumulation + first-max scan.
+
+    Accumulates each group's category scores sequentially in claim
+    order (the accumulation order of the NumPy kernel's ``np.add.at``)
+    and picks the first strictly-greater category — ``argmax``'s
+    tie-to-smallest-code semantics.  ``weights`` are the effective
+    (zero-total-fallback-applied) claim weights the NumPy wrapper
+    computed; they are non-negative, so an unclaimed category's 0.0
+    score can never beat a claimed group's positive maximum.
+    """
+    n_groups = indptr.shape[0] - 1
+    for g in prange(n_groups):
+        lo = indptr[g]
+        hi = indptr[g + 1]
+        if lo == hi:
+            out[g] = missing_code
+            continue
+        scores = np.zeros(n_categories, dtype=np.float64)
+        for i in range(lo, hi):
+            scores[codes[i]] += weights[i]
+        best = 0
+        best_score = scores[0]
+        for c in range(1, n_categories):
+            if scores[c] > best_score:
+                best_score = scores[c]
+                best = c
+        out[g] = best
+
+
+@njit(cache=True)
+def accumulate_core(claim_deviations, source_idx, totals, counts):
+    """Per-source deviation sums/counts, sequentially in claim order.
+
+    Skips non-finite deviations exactly like the NumPy kernel's finite
+    mask, and accumulates in claim order — ``np.bincount``'s order — so
+    the per-source floats match bit for bit.  Deliberately sequential
+    (no ``prange``): parallel accumulation would reorder the float
+    additions and break bit-identity.
+    """
+    for i in range(claim_deviations.shape[0]):
+        d = claim_deviations[i]
+        if np.isfinite(d):
+            s = source_idx[i]
+            totals[s] += d
+            counts[s] += 1.0

@@ -63,19 +63,37 @@ class HuberLoss(Loss):
         return state
 
     def update_truth(self, prop, weights: np.ndarray) -> TruthState:
-        """Per-entry IRLS minimizer of the weighted Huber objective."""
+        return self.update_truth_fused(prop, weights)
+
+    def update_truth_fused(self, prop, weights: np.ndarray, *,
+                           claim_weights: np.ndarray | None = None,
+                           effective=None) -> TruthState:
+        """Per-entry IRLS minimizer of the weighted Huber objective.
+
+        The effective claim weights are computed once and shared by the
+        median warm start and the IRLS solve (they derive the identical
+        pair internally), and the median reuses the view's cached sort
+        plan — pure reuse, bit-identical.
+        """
         view = prop.claim_view()
         state = TruthState(column=np.empty(0))
         std = _entry_std(state.aux, prop)
-        claim_weights = view.claim_weights(weights)
+        if claim_weights is None:
+            claim_weights = view.claim_weights(weights)
+        if effective is None:
+            effective = kernels.effective_claim_weights(
+                claim_weights, view.indptr, view.object_idx
+            )
         initial = kernels.segment_weighted_median(
             view.values, claim_weights, view.indptr,
             group_of_claim=view.object_idx,
+            plan=view.median_plan(), effective=effective,
         )
         state.column = kernels.segment_huber_irls(
             view.values, claim_weights, view.indptr, std, initial,
             delta=self.delta, iterations=self.irls_iterations,
             tol=self.irls_tol, group_of_claim=view.object_idx,
+            effective=effective,
         )
         return state
 
@@ -85,6 +103,15 @@ class HuberLoss(Loss):
         return kernels.huber_claim_deviations(
             view.values, state.column, _entry_std(state.aux, prop),
             view.object_idx, self.delta,
+        )
+
+    def claim_deviations_into(self, state: TruthState, prop,
+                              out: np.ndarray) -> np.ndarray:
+        """Huber deviations into a caller-owned scratch buffer."""
+        view = prop.claim_view()
+        return kernels.huber_claim_deviations(
+            view.values, state.column, _entry_std(state.aux, prop),
+            view.object_idx, self.delta, out=out,
         )
 
     def deviations(self, state: TruthState, prop) -> np.ndarray:

@@ -32,13 +32,11 @@ from ..observability.metrics import (
 )
 from ..observability.profiling import Profiler, activate, span
 from ..observability.tracer import Tracer
+from . import dispatch
 from .initialization import initializer_by_name
 from .losses import Loss, TruthState, loss_by_name
-from .objective import (
-    ConvergenceCriterion,
-    DeviationOptions,
-    per_source_deviations,
-)
+from .objective import ConvergenceCriterion, DeviationOptions
+from .sweep import SweepContext
 from .regularizers import ExponentialWeights, WeightScheme
 from .result import TruthDiscoveryResult
 
@@ -82,6 +80,16 @@ class CRHConfig:
         Claims per chunk for the mmap backend (``None`` —
         :data:`repro.data.chunks.DEFAULT_CHUNK_CLAIMS`).  Ignored by
         the other backends.
+    kernel_tier:
+        Segment-kernel implementation tier: ``"numpy"`` (the reference
+        implementations), ``"numba"`` (compiled hot kernels where numba
+        is importable and self-checked, NumPy fallback otherwise), or
+        ``"auto"`` (the session default from
+        :func:`repro.core.dispatch.set_kernel_tier`, else numba when
+        available).  All tiers produce bit-identical results — this is
+        purely a speed choice; the resolved tier and the reason for it
+        are stamped into ``run_start`` traces as ``kernel_tier`` /
+        ``kernel_tier_reason``.
     seed:
         Used only by the random initializer.
     """
@@ -101,6 +109,7 @@ class CRHConfig:
     backend: str = "auto"
     n_workers: int | None = None
     chunk_claims: int | None = None
+    kernel_tier: str = "auto"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -110,6 +119,11 @@ class CRHConfig:
             raise ValueError(
                 f"backend must be one of {BACKEND_NAMES}, "
                 f"got {self.backend!r}"
+            )
+        if self.kernel_tier not in dispatch.KERNEL_TIER_NAMES:
+            raise ValueError(
+                f"kernel_tier must be one of {dispatch.KERNEL_TIER_NAMES}, "
+                f"got {self.kernel_tier!r}"
             )
         if self.n_workers is not None and self.n_workers < 1:
             raise ValueError("n_workers must be >= 1 when given")
@@ -234,8 +248,10 @@ class CRHSolver:
         owns_backend = False
         runner = None
         degraded_reason: str | None = None
+        tier, tier_reason = dispatch.resolve_kernel_tier(config.kernel_tier)
         try:
-            with activate(prof), activate_metrics(reg):
+            with activate(prof), activate_metrics(reg), \
+                    dispatch.activate_tier(tier):
                 with span(prof, "setup"):
                     backend = make_backend(source, config.backend,
                                            n_workers=config.n_workers,
@@ -248,8 +264,8 @@ class CRHSolver:
                                                   backend=backend)
                     if getattr(backend, "supports_runner", False):
                         try:
-                            runner = backend.start_runner(losses,
-                                                          profiler=prof)
+                            runner = backend.start_runner(
+                                losses, profiler=prof, kernel_tier=tier)
                             runner.seed(states)
                         except BackendExecutionError as error:
                             degraded_reason = (
@@ -279,14 +295,25 @@ class CRHSolver:
                     runner = None
                     backend.close()
 
+                # The fused sweep context (shared per-view state +
+                # iteration scratch) backs every inline pass; built
+                # lazily so runner-served runs that never degrade don't
+                # allocate its buffers.
+                sweep: SweepContext | None = None
+
+                def ensure_sweep() -> SweepContext:
+                    nonlocal sweep
+                    if sweep is None:
+                        sweep = SweepContext(dataset, losses, options)
+                    return sweep
+
                 def aggregate_deviations(current) -> np.ndarray:
                     if runner is not None:
                         try:
                             return runner.per_source(current, options)
                         except BackendExecutionError as error:
                             degrade(error)
-                    return per_source_deviations(dataset, losses,
-                                                 current, options)
+                    return ensure_sweep().per_source(current)
 
                 def truth_step(weights) -> list[TruthState]:
                     if runner is not None:
@@ -294,10 +321,7 @@ class CRHSolver:
                             return runner.truth_step(weights)
                         except BackendExecutionError as error:
                             degrade(error)
-                    return [
-                        loss.update_truth(prop, weights)
-                        for loss, prop in zip(losses, dataset.properties)
-                    ]
+                    return ensure_sweep().truth_step(weights)
 
                 criterion = ConvergenceCriterion(tol=config.tol,
                                                  patience=config.patience)
@@ -329,6 +353,8 @@ class CRHSolver:
                         n_claims=backend.n_claims(),
                         n_workers=getattr(runner, "n_workers", None),
                         n_chunks=getattr(runner, "n_chunks", None),
+                        kernel_tier=tier,
+                        kernel_tier_reason=tier_reason,
                     ))
 
                 # The aggregate of iteration i's objective is exactly the

@@ -59,7 +59,9 @@ class ClaimView:
     occupy rows ``indptr[i]:indptr[i + 1]``.
 
     The per-entry standard deviation of Eqs. 13/15 depends only on the
-    claims, so it is computed once per view and cached.
+    claims, so it is computed once per view and cached; the weighted
+    median's sort plan (:meth:`median_plan`) is cached the same way —
+    both are pure functions of the view's immutable arrays.
     """
 
     values: np.ndarray
@@ -69,6 +71,7 @@ class ClaimView:
     n_objects: int
     n_sources: int
     _std: np.ndarray | None = field(default=None, repr=False)
+    _median_plan: object | None = field(default=None, repr=False)
 
     @property
     def n_claims(self) -> int:
@@ -88,6 +91,22 @@ class ClaimView:
                 self.indptr, group_of_claim=self.object_idx,
             )
         return self._std
+
+    def median_plan(self):
+        """The weighted median's :class:`~repro.core.kernels.MedianSortPlan`.
+
+        The plan (the ``(object, value)`` lexsort order plus a weight
+        scratch buffer) depends only on the view's values and grouping,
+        never on iteration weights, so one plan serves every iteration
+        of a solve; cached on first use like :meth:`entry_std`.
+        """
+        if self._median_plan is None:
+            from ..core.kernels import MedianSortPlan
+            self._median_plan = MedianSortPlan(
+                np.asarray(self.values, dtype=np.float64),
+                self.object_idx, self.indptr,
+            )
+        return self._median_plan
 
     def claims_per_object(self) -> np.ndarray:
         """Number of claims on each object (CSR row lengths)."""

@@ -21,9 +21,11 @@ backend uses — under a caller-provided weight vector.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..core.sweep import resolve_properties
 
 
 @dataclass(frozen=True)
@@ -34,6 +36,14 @@ class RecomputePlan:
     scope: str
     #: store object indices to re-resolve (empty for ``none``)
     object_indices: np.ndarray
+    #: per-plan scratch: :func:`resolve_truths` stashes the assembled
+    #: chunk here so repeated resolves under one plan reuse the chunk's
+    #: claim views — and with them the cached claim grouping and median
+    #: sort plans — instead of re-deriving them from ``indptr`` per call.
+    #: The cache reflects the store at first-assembly time, which is
+    #: exactly the plan's own lifetime contract (a plan is computed from
+    #: one dirty snapshot and discarded after it is applied).
+    cache: dict = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def n_objects(self) -> int:
@@ -67,7 +77,8 @@ class RecomputePlanner:
 
 
 def resolve_truths(store, object_indices: np.ndarray,
-                   weights: np.ndarray, losses) -> list[np.ndarray]:
+                   weights: np.ndarray, losses, *,
+                   plan: RecomputePlan | None = None) -> list[np.ndarray]:
     """Re-resolve the truths of ``object_indices`` under ``weights``.
 
     ``weights`` is indexed by the store's source positions (length
@@ -76,11 +87,25 @@ def resolve_truths(store, object_indices: np.ndarray,
     truth column per property, aligned with ``object_indices`` — the
     same kernels and claim order a window seal uses, so a freshly
     sealed object re-resolves bit-identically.
+
+    When ``plan`` is given, the chunk assembled from the store is cached
+    on ``plan.cache`` so repeated resolves under the same plan (e.g.
+    weight refreshes against one dirty snapshot) reuse the chunk's claim
+    views and their cached grouping / median sort plans rather than
+    recomputing them from ``indptr`` every call.  The truth step itself
+    runs through the fused sweep
+    (:func:`~repro.core.sweep.resolve_properties`), sharing the
+    effective-weight computation across kernels exactly like the batch
+    solver does.
     """
-    chunk = store.dataset_for(object_indices)
+    chunk = plan.cache.get("chunk") if plan is not None else None
+    if chunk is None:
+        chunk = store.dataset_for(object_indices)
+        if plan is not None:
+            plan.cache["chunk"] = chunk
+    states = resolve_properties(chunk, losses, weights)
     columns: list[np.ndarray] = []
-    for loss, prop in zip(losses, chunk.properties):
-        state = loss.update_truth(prop, weights)
+    for state, prop in zip(states, chunk.properties):
         if prop.schema.uses_codec:
             columns.append(np.asarray(state.column, dtype=np.int32))
         else:

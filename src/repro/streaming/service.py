@@ -423,14 +423,16 @@ class TruthService:
                                   self._store.n_objects)
         if plan.scope == "none":
             return 0
-        self._resolve_into_cache(plan.object_indices)
+        self._resolve_into_cache(plan.object_indices, plan=plan)
         self._store.dirty.clear()
         return plan.n_objects
 
-    def _resolve_into_cache(self, indices: np.ndarray) -> None:
+    def _resolve_into_cache(self, indices: np.ndarray, *,
+                            plan=None) -> None:
         """Re-resolve ``indices`` under current weights into the cache."""
         columns = resolve_truths(self._store, indices,
-                                 self._current_weights(), self._losses)
+                                 self._current_weights(), self._losses,
+                                 plan=plan)
         self._cache.ensure(self._store.n_objects)
         self._cache.store(indices, columns,
                           version=self._model.state.epoch)

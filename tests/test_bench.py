@@ -37,6 +37,9 @@ class TestSuite:
         assert names == [
             "primitives/weighted_median",
             "primitives/weighted_vote",
+            "core/median",
+            "core/vote",
+            "core/deviations",
             "backend/dense",
             "backend/sparse",
             "backend/process-w1",

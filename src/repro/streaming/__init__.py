@@ -7,7 +7,11 @@ Algorithm 2):
   time window and runs :class:`IncrementalCRH` chunk by chunk;
 * long-lived serving — :class:`TruthService` ingests claims one at a
   time (:class:`Claim`), seals windows as they complete, serves warm
-  truths/weights, and snapshots/restores its full state.
+  truths/weights, and snapshots/restores its full state; and
+* concurrent serving — :class:`ShardedTruthService` routes object
+  keys across per-shard ``TruthService`` instances under one global
+  weight plane, with optional async ingest workers and lock-free
+  snapshot reads (``docs/ARCHITECTURE.md``, "Concurrent serving").
 
 The layers underneath: :class:`ClaimStore` (appendable claim index +
 dirty set), :class:`~repro.streaming.state.TruthState` /
@@ -16,11 +20,20 @@ versioned truth cache) and :class:`RecomputePlanner` (dirty-set
 re-resolution through the shared segment kernels).
 """
 
+from .concurrent import (
+    SHARD_POLICIES,
+    BackpressureError,
+    IngestWorkerError,
+    MergedRegistryView,
+    ShardedTruthService,
+    shard_policy_by_name,
+)
 from .icrh import ICRHConfig, ICRHResult, IncrementalCRH, icrh
 from .planner import RecomputePlan, RecomputePlanner
 from .service import (
     IngestReport,
     TruthService,
+    TruthSnapshot,
     as_claim,
     iter_dataset_claims,
 )
@@ -29,6 +42,7 @@ from .store import Claim, ClaimStore, GrowableArray
 from .windows import StreamChunk, chunk_by_window, n_chunks
 
 __all__ = [
+    "BackpressureError",
     "Claim",
     "ClaimStore",
     "GrowableArray",
@@ -36,15 +50,21 @@ __all__ = [
     "ICRHResult",
     "IncrementalCRH",
     "IngestReport",
+    "IngestWorkerError",
+    "MergedRegistryView",
     "RecomputePlan",
     "RecomputePlanner",
+    "SHARD_POLICIES",
+    "ShardedTruthService",
     "StreamChunk",
     "TruthCache",
     "TruthService",
+    "TruthSnapshot",
     "TruthState",
     "as_claim",
     "chunk_by_window",
     "icrh",
     "iter_dataset_claims",
     "n_chunks",
+    "shard_policy_by_name",
 ]

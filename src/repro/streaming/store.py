@@ -68,8 +68,11 @@ class GrowableArray:
         self._fill = fill
         self._buf = np.full(max(int(capacity), 1), fill, dtype=self._dtype)
         self._n = 0
+        self._shared = False
         #: number of buffer reallocations performed so far
         self.growth_events = 0
+        #: copy-on-write buffer copies forced by :meth:`writable`
+        self.cow_copies = 0
 
     def __len__(self) -> int:
         return self._n
@@ -77,6 +80,34 @@ class GrowableArray:
     @property
     def data(self) -> np.ndarray:
         """View of the live prefix (no copy; invalidated by growth)."""
+        return self._buf[:self._n]
+
+    def freeze_view(self) -> np.ndarray:
+        """A read-only view of the live prefix, stable under later writes.
+
+        Marks the buffer *shared*: appends beyond the frozen length stay
+        invisible to the view, and any later in-place mutation must go
+        through :meth:`writable`, which copies the buffer first.  This
+        is the copy-on-write primitive behind lock-free truth-snapshot
+        reads — a frozen view never observes a torn write.
+        """
+        view = self._buf[:self._n]
+        view.flags.writeable = False
+        self._shared = True
+        return view
+
+    def writable(self) -> np.ndarray:
+        """The live prefix for in-place mutation, copying if shared.
+
+        While no :meth:`freeze_view` is outstanding this is exactly
+        :attr:`data`; after one, the first mutation pays a single buffer
+        copy (counted in :attr:`cow_copies`) so published views keep
+        their values.
+        """
+        if self._shared:
+            self._buf = self._buf.copy()
+            self._shared = False
+            self.cow_copies += 1
         return self._buf[:self._n]
 
     def _reserve(self, extra: int) -> None:
@@ -90,6 +121,7 @@ class GrowableArray:
         grown = np.full(capacity, self._fill, dtype=self._dtype)
         grown[:self._n] = self._buf[:self._n]
         self._buf = grown
+        self._shared = False
         self.growth_events += 1
 
     def append(self, value) -> int:
